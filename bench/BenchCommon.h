@@ -1,0 +1,69 @@
+//===-- bench/BenchCommon.h - Shared harness configuration -------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared configuration for the table/figure harnesses.
+///
+/// Environment knobs:
+///   PGSD_QUICK=1     -- reduced variant counts for smoke runs.
+///   PGSD_VARIANTS=N  -- explicit variant count override.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_BENCH_BENCHCOMMON_H
+#define PGSD_BENCH_BENCHCOMMON_H
+
+#include "diversity/NopInsertion.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace bench {
+
+/// One named insertion configuration.
+struct Config {
+  std::string Label;
+  diversity::DiversityOptions Opts;
+};
+
+/// The paper's five Figure 4 configurations, in column order.
+inline std::vector<Config> paperConfigs() {
+  using diversity::DiversityOptions;
+  using diversity::ProbabilityModel;
+  return {
+      {"pNOP=50%", DiversityOptions::uniform(0.50)},
+      {"pNOP=30%", DiversityOptions::uniform(0.30)},
+      {"pNOP=25-50%",
+       DiversityOptions::profiled(ProbabilityModel::Log, 0.25, 0.50)},
+      {"pNOP=10-50%",
+       DiversityOptions::profiled(ProbabilityModel::Log, 0.10, 0.50)},
+      {"pNOP=0-30%",
+       DiversityOptions::profiled(ProbabilityModel::Log, 0.00, 0.30)},
+  };
+}
+
+/// Number of diversified variants per (benchmark, config) cell.
+/// \p PaperDefault is what the paper used (5 for Figure 4, 25 for
+/// Tables 2/3); PGSD_QUICK or PGSD_VARIANTS shrink it for smoke runs.
+inline unsigned variantCount(unsigned PaperDefault) {
+  if (const char *Explicit = std::getenv("PGSD_VARIANTS")) {
+    int V = std::atoi(Explicit);
+    if (V > 0)
+      return static_cast<unsigned>(V);
+  }
+  if (const char *Quick = std::getenv("PGSD_QUICK");
+      Quick && Quick[0] == '1')
+    return PaperDefault >= 25 ? 5 : 2;
+  return PaperDefault;
+}
+
+} // namespace bench
+} // namespace pgsd
+
+#endif // PGSD_BENCH_BENCHCOMMON_H

@@ -1,0 +1,108 @@
+//===-- bench/php_case_study.cpp - Paper Section 5.2 case study -------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Regenerates the concrete-attack experiment: the paper took PHP 5.3.16,
+// verified it was exploitable with two gadget scanners (ROPgadget and
+// microgadgets), then built 25 diversified versions per profiling script
+// (seven Computer Language Benchmarks Game programs) at the
+// highest-performance setting pNOP=0-30% and showed that no diversified
+// version remained attackable from its surviving gadgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "driver/Driver.h"
+#include "gadget/Attack.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace pgsd;
+
+int main() {
+  const unsigned NumVersions = bench::variantCount(25);
+  workloads::Workload Php = workloads::phpInterpreter();
+  driver::Program Base = driver::compileProgram(Php.Source, Php.Name);
+  if (!Base.OK) {
+    std::fprintf(stderr, "compile failed:\n%s", Base.Errors.c_str());
+    return 1;
+  }
+  codegen::Image BaseImage = driver::linkBaseline(Base);
+
+  std::printf("Case study: ROP attacks against the %s interpreter\n",
+              Php.Name.c_str());
+  std::printf(".text: %zu bytes; %u diversified versions per profile; "
+              "pNOP=0-30%% (log heuristic)\n\n",
+              BaseImage.Text.size(), NumVersions);
+
+  // Step 1 (paper: "we verified that the undiversified PHP binary is
+  // indeed vulnerable to both these attacks").
+  auto BaseRop = gadget::checkAttackOnImage(BaseImage.Text,
+                                            gadget::AttackModel::RopGadget);
+  auto BaseMicro = gadget::checkAttackOnImage(
+      BaseImage.Text, gadget::AttackModel::Microgadget);
+  std::printf("undiversified binary: ROPgadget-model %s, "
+              "microgadgets-model %s\n",
+              BaseRop.Feasible ? "FEASIBLE" : "infeasible",
+              BaseMicro.Feasible ? "FEASIBLE" : "infeasible");
+  if (!BaseRop.Feasible || !BaseMicro.Feasible) {
+    std::fprintf(stderr, "expected the baseline to be attackable\n");
+    return 1;
+  }
+
+  // Step 2: per profiling script, build versions and re-run both
+  // scanners on the surviving gadgets of each version.
+  auto Opts = diversity::DiversityOptions::profiled(
+      diversity::ProbabilityModel::Log, 0.0, 0.3);
+
+  TablePrinter Table;
+  Table.addRow({"Profile script", "Versions", "Mean survivors",
+                "ROPgadget feasible", "microgadgets feasible"});
+  unsigned TotalFeasible = 0;
+  for (const workloads::PhpScript &Script : workloads::clbgScripts()) {
+    driver::Program P = driver::compileProgram(Php.Source, Php.Name);
+    if (!driver::profileAndStamp(P, Script.Input)) {
+      std::fprintf(stderr, "%s: training run failed\n",
+                   Script.Name.c_str());
+      return 1;
+    }
+    unsigned RopFeasible = 0, MicroFeasible = 0;
+    double SurvivorSum = 0;
+    for (uint64_t Seed = 1; Seed <= NumVersions; ++Seed) {
+      driver::Variant V = driver::makeVariant(P, Opts, Seed);
+      auto Survivors =
+          gadget::survivingGadgets(BaseImage.Text, V.Image.Text);
+      SurvivorSum += static_cast<double>(Survivors.size());
+      auto Gadgets = gadget::classifyGadgets(V.Image.Text.data(),
+                                             V.Image.Text.size());
+      auto Usable = gadget::filterToSurvivors(Gadgets, Survivors);
+      if (gadget::checkAttack(Usable, gadget::AttackModel::RopGadget)
+              .Feasible)
+        ++RopFeasible;
+      if (gadget::checkAttack(Usable, gadget::AttackModel::Microgadget)
+              .Feasible)
+        ++MicroFeasible;
+    }
+    TotalFeasible += RopFeasible + MicroFeasible;
+    Table.addRow({Script.Name, formatCount(NumVersions),
+                  formatDouble(SurvivorSum / NumVersions, 1),
+                  formatCount(RopFeasible) + "/" +
+                      formatCount(NumVersions),
+                  formatCount(MicroFeasible) + "/" +
+                      formatCount(NumVersions)});
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  Table.print(stdout);
+
+  std::printf("\n%s\n",
+              TotalFeasible == 0
+                  ? "Result: no profile produced any attackable binary "
+                    "(matches the paper)."
+                  : "RESULT MISMATCH: some variants remained attackable!");
+  return TotalFeasible == 0 ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+//===-- bench/table2_surviving_gadgets.cpp - Paper Table 2 ------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Regenerates Table 2: "Surviving gadgets on SPEC CPU 2006 binaries".
+// For each benchmark (sorted by baseline gadget count, like the paper)
+// and each insertion configuration, builds N diversified variants
+// (paper: 25), runs the Survivor comparison against the undiversified
+// binary, and reports the mean surviving-gadget count. The last two
+// columns reproduce the paper's summary: Extra% (pNOP=0-30% vs pNOP=50%,
+// best-to-worst) and Surviving% (pNOP=0-30% survivors / baseline).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "driver/Driver.h"
+#include "gadget/Scanner.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pgsd;
+
+namespace {
+
+struct RowResult {
+  std::string Name;
+  uint64_t Baseline = 0;
+  std::vector<double> MeanSurvivors; // per config
+};
+
+} // namespace
+
+int main() {
+  const std::vector<bench::Config> Configs = bench::paperConfigs();
+  const unsigned NumVariants = bench::variantCount(25);
+
+  std::printf("Table 2: surviving gadgets on SPEC CPU 2006 binaries\n");
+  std::printf("variants per cell: %u (paper: 25); Survivor algorithm per "
+              "Section 5.2\n\n",
+              NumVariants);
+
+  std::vector<RowResult> Rows;
+  for (const workloads::Workload &W : workloads::specSuite()) {
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.OK) {
+      std::fprintf(stderr, "%s: compile failed\n", W.Name.c_str());
+      return 1;
+    }
+    if (!driver::profileAndStamp(P, W.TrainInput)) {
+      std::fprintf(stderr, "%s: training failed\n", W.Name.c_str());
+      return 1;
+    }
+    codegen::Image Base = driver::linkBaseline(P);
+
+    RowResult Row;
+    Row.Name = W.Name;
+    Row.Baseline =
+        gadget::scanGadgets(Base.Text.data(), Base.Text.size()).size();
+
+    for (const bench::Config &C : Configs) {
+      std::vector<double> Counts;
+      for (uint64_t Seed = 1; Seed <= NumVariants; ++Seed) {
+        driver::Variant V = driver::makeVariant(P, C.Opts, Seed);
+        Counts.push_back(static_cast<double>(
+            gadget::survivingGadgets(Base.Text, V.Image.Text).size()));
+      }
+      Row.MeanSurvivors.push_back(mean(Counts));
+    }
+    Rows.push_back(std::move(Row));
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+
+  // The paper sorts by baseline gadget count.
+  std::sort(Rows.begin(), Rows.end(),
+            [](const RowResult &A, const RowResult &B) {
+              return A.Baseline < B.Baseline;
+            });
+
+  TablePrinter Table;
+  std::vector<std::string> Header = {"Benchmark", "Baseline"};
+  for (const bench::Config &C : Configs)
+    Header.push_back(C.Label);
+  Header.push_back("Extra%");
+  Header.push_back("Surviving%");
+  Table.addRow(Header);
+
+  for (const RowResult &Row : Rows) {
+    std::vector<std::string> Cells = {Row.Name, formatCount(Row.Baseline)};
+    for (double M : Row.MeanSurvivors)
+      Cells.push_back(formatDouble(M, 2));
+    // Extra% = (best config survivors / worst config survivors) - 1,
+    // i.e. pNOP=0-30% (index 4) versus pNOP=50% (index 0).
+    double Extra = Row.MeanSurvivors[0] > 0
+                       ? 100.0 * (Row.MeanSurvivors[4] /
+                                      Row.MeanSurvivors[0] -
+                                  1.0)
+                       : 0.0;
+    Cells.push_back(formatPercent(Extra, 0));
+    double Surviving =
+        Row.Baseline
+            ? 100.0 * Row.MeanSurvivors[4] /
+                  static_cast<double>(Row.Baseline)
+            : 0.0;
+    Cells.push_back(formatPercent(Surviving, 2));
+    Table.addRow(Cells);
+  }
+  Table.print(stdout);
+
+  std::printf("\nExpected shape (paper): Surviving%% falls as binaries "
+              "grow (18%% for lbm down to 0.05%% for xalancbmk); Extra%% "
+              "stays modest except the astar-like outlier.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===-- examples/population_diversity.cpp - Section 6 trade-off demo ------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The paper's Section 6 discusses the deployment trade-off: "for
+// software diversity to be effective, a sufficient number of versions
+// must be available; the probability where a maximum number of versions
+// are available is pNOP = 50%. The number of versions decreases for
+// both larger and smaller values of pNOP."
+//
+// This example quantifies that on a real build: for several uniform
+// pNOP values it generates a population of variants and reports
+//   * how many are byte-distinct,
+//   * the mean pairwise gadget-set overlap (an attacker's chance that
+//     one payload works on a second machine), and
+//   * the mean slowdown,
+// showing the diversity/performance tension the profile-guided range
+// configurations then resolve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "gadget/Scanner.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace pgsd;
+
+namespace {
+
+/// Gadget identities (offset + normalized content) of one image.
+std::set<uint64_t> gadgetIdentities(const std::vector<uint8_t> &Text) {
+  std::set<uint64_t> Ids;
+  gadget::ScanOptions Opts;
+  for (const gadget::Gadget &G :
+       gadget::scanGadgets(Text.data(), Text.size(), Opts)) {
+    uint64_t Hash;
+    unsigned NonNop;
+    if (gadget::normalizedGadgetHash(Text.data(), Text.size(), G.Offset,
+                                     Opts, Hash, NonNop))
+      Ids.insert(Hash ^ (static_cast<uint64_t>(G.Offset) *
+                         0x9e3779b97f4a7c15ull));
+  }
+  return Ids;
+}
+
+double overlap(const std::set<uint64_t> &A, const std::set<uint64_t> &B) {
+  size_t Common = 0;
+  for (uint64_t Id : A)
+    Common += B.count(Id);
+  size_t Union = A.size() + B.size() - Common;
+  return Union == 0 ? 1.0
+                    : static_cast<double>(Common) /
+                          static_cast<double>(Union);
+}
+
+} // namespace
+
+int main() {
+  const workloads::Workload &W = workloads::specWorkload("433.milc");
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  if (!P.OK || !driver::profileAndStamp(P, W.TrainInput)) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  double BaseCycles = driver::execute(P.MIR, W.TrainInput).cycles();
+
+  const unsigned PopulationSize = 12;
+  std::printf("Population diversity vs pNOP on %s (%u variants per "
+              "point)\n\n",
+              W.Name.c_str(), PopulationSize);
+  TablePrinter Table;
+  Table.addRow({"pNOP", "distinct binaries", "mean pairwise overlap",
+                "mean slowdown"});
+
+  for (double Prob : {0.05, 0.10, 0.30, 0.50, 0.70, 0.90}) {
+    auto Opts = diversity::DiversityOptions::uniform(Prob);
+    std::set<std::vector<uint8_t>> Distinct;
+    std::vector<std::set<uint64_t>> Populations;
+    double Slowdown = 0;
+    for (uint64_t Seed = 1; Seed <= PopulationSize; ++Seed) {
+      driver::Variant V = driver::makeVariant(P, Opts, Seed);
+      Populations.push_back(gadgetIdentities(V.Image.Text));
+      Distinct.insert(std::move(V.Image.Text));
+      Slowdown +=
+          driver::execute(V.MIR, W.TrainInput).cycles() / BaseCycles - 1.0;
+    }
+    double OverlapSum = 0;
+    unsigned Pairs = 0;
+    for (size_t I = 0; I != Populations.size(); ++I)
+      for (size_t J = I + 1; J != Populations.size(); ++J) {
+        OverlapSum += overlap(Populations[I], Populations[J]);
+        ++Pairs;
+      }
+    Table.addRow({formatPercent(100.0 * Prob, 0),
+                  formatCount(Distinct.size()) + "/" +
+                      formatCount(PopulationSize),
+                  formatPercent(100.0 * OverlapSum / Pairs, 1),
+                  formatPercent(100.0 * Slowdown / PopulationSize, 2)});
+  }
+  Table.print(stdout);
+
+  std::printf(
+      "\nOverlap shrinks as pNOP approaches 50%% while slowdown grows "
+      "monotonically -- the paper's deployment trade-off. The "
+      "profile-guided ranges keep the cold-code overlap low while "
+      "giving the performance of small pNOP values.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===-- examples/spec_suite_report.cpp - Workload suite inspection --------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Compiles every SPEC-like workload, profiles it on its train input,
+// executes the ref input, and prints the static and dynamic properties
+// the evaluation depends on: .text size, baseline gadget count, dynamic
+// instruction count, the paper's x_max (hottest block count), and the
+// median block count (Section 3.1 discusses the astar median/max gap).
+// Also verifies that a diversified variant computes the same checksum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "gadget/Scanner.h"
+#include "support/Statistics.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace pgsd;
+
+int main(int argc, char **argv) {
+  const char *Only = argc > 1 ? argv[1] : nullptr;
+  std::printf("%-16s %8s %8s %12s %14s %12s %9s %s\n", "benchmark", "text",
+              "gadgets", "dyn-instr", "xmax", "median", "cycles",
+              "variant");
+  bool AllOK = true;
+
+  for (const workloads::Workload &W : workloads::specSuite()) {
+    if (Only && W.Name.find(Only) == std::string::npos)
+      continue;
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.OK) {
+      std::printf("%-16s COMPILE FAILED:\n%s\n", W.Name.c_str(),
+                  P.Errors.c_str());
+      AllOK = false;
+      continue;
+    }
+    if (!driver::profileAndStamp(P, W.TrainInput)) {
+      std::printf("%-16s TRAINING RUN FAILED\n", W.Name.c_str());
+      AllOK = false;
+      continue;
+    }
+
+    // Profile statistics (x_max and median over nonzero block counts).
+    uint64_t XMax = 0;
+    std::vector<uint64_t> Counts;
+    for (const mir::MFunction &F : P.MIR.Functions)
+      for (const mir::MBasicBlock &BB : F.Blocks) {
+        XMax = std::max(XMax, BB.ProfileCount);
+        if (BB.ProfileCount > 0)
+          Counts.push_back(BB.ProfileCount);
+      }
+    uint64_t Median = medianCount(Counts);
+
+    codegen::Image Image = driver::linkBaseline(P);
+    auto Gadgets =
+        gadget::scanGadgets(Image.Text.data(), Image.Text.size());
+
+    mexec::RunResult Ref = driver::execute(P.MIR, W.RefInput);
+    if (Ref.Trapped) {
+      std::printf("%-16s REF RUN TRAPPED: %s\n", W.Name.c_str(),
+                  Ref.TrapReason.c_str());
+      AllOK = false;
+      continue;
+    }
+
+    // Semantic check: one diversified variant must match the baseline.
+    driver::Variant V = driver::makeVariant(
+        P, diversity::DiversityOptions::uniform(0.5), /*Seed=*/7);
+    mexec::RunResult VRef = driver::execute(V.MIR, W.RefInput);
+    bool Same = !VRef.Trapped && VRef.Checksum == Ref.Checksum &&
+                VRef.ExitCode == Ref.ExitCode;
+    if (!Same)
+      AllOK = false;
+
+    std::printf("%-16s %8zu %8zu %12llu %14llu %12llu %9.0fk %s\n",
+                W.Name.c_str(), Image.Text.size(), Gadgets.size(),
+                static_cast<unsigned long long>(Ref.Instructions),
+                static_cast<unsigned long long>(XMax),
+                static_cast<unsigned long long>(Median),
+                Ref.cycles() / 1000.0, Same ? "ok" : "MISMATCH");
+  }
+  return AllOK ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+//===-- codegen/Emitter.h - Machine-IR to object code -----------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Code Gen" stage of the paper's Figure 3: turns machine IR into
+/// IA-32 object code. Every MIR instruction emits exactly one native
+/// instruction; prologues/epilogues are expanded around the body here,
+/// after the NOP-insertion pass has run on the MIR.
+///
+/// Intra-function branches are resolved immediately (two-pass rel32
+/// patching); calls, global addresses, and profiling-counter addresses
+/// are left as relocations for the linker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_CODEGEN_EMITTER_H
+#define PGSD_CODEGEN_EMITTER_H
+
+#include "lir/MIR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pgsd {
+namespace codegen {
+
+/// Relocation kinds the linker resolves.
+enum class RelocKind : uint8_t {
+  CallFunc,   ///< rel32 to module function #Index.
+  CallIntr,   ///< rel32 to intrinsic stub #Index.
+  GlobalAbs,  ///< abs32 address of global #Index.
+  CounterAbs, ///< abs32 address of profiling counter #Index.
+};
+
+/// One unresolved reference in emitted code.
+struct Reloc {
+  RelocKind Kind;
+  uint32_t Offset; ///< Byte offset of the 32-bit field within the code.
+  uint32_t Index;
+};
+
+/// Object code for one function.
+struct FunctionCode {
+  std::vector<uint8_t> Bytes;
+  std::vector<Reloc> Relocs;
+};
+
+/// Emits machine code for \p F (a member of \p M).
+FunctionCode emitFunction(const mir::MFunction &F, const mir::MModule &M);
+
+} // namespace codegen
+} // namespace pgsd
+
+#endif // PGSD_CODEGEN_EMITTER_H

@@ -1,0 +1,50 @@
+//===-- codegen/Layout.h - Process-image layout constants --------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Address-space layout shared by the linker and the execution engine.
+///
+/// The text base matches the fixed 32-bit Linux executable base the paper
+/// cites ("the code section of a program is always loaded at the same
+/// address (0x8048000 on Linux)", Section 2.2). Data, counters, and the
+/// stack live in the low 16 MiB, which is the flat memory the machine
+/// interpreter models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_CODEGEN_LAYOUT_H
+#define PGSD_CODEGEN_LAYOUT_H
+
+#include <cstdint>
+
+namespace pgsd {
+namespace codegen {
+
+/// Load address of .text in the (virtual) process image.
+inline constexpr uint32_t TextBase = 0x08048000;
+
+/// Size of the flat data memory modeled by the interpreter.
+inline constexpr uint32_t MemorySize = 16u << 20;
+
+/// Base address where the linker places module globals.
+inline constexpr uint32_t GlobalsBase = 0x00100000;
+
+/// Base address of the edge-profiling counter array (instrumented
+/// builds only).
+inline constexpr uint32_t CountersBase = 0x00040000;
+
+/// Initial stack pointer; the stack grows down from here.
+inline constexpr uint32_t StackTop = 0x00F00000;
+
+/// Lowest address the stack may reach before the interpreter reports
+/// stack overflow.
+inline constexpr uint32_t StackLimit = 0x00400000;
+
+} // namespace codegen
+} // namespace pgsd
+
+#endif // PGSD_CODEGEN_LAYOUT_H

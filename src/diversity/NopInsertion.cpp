@@ -1,0 +1,171 @@
+//===-- diversity/NopInsertion.cpp - Profile-guided NOP insertion ----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "diversity/NopInsertion.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::diversity;
+using namespace pgsd::mir;
+
+DiversityOptions DiversityOptions::uniform(double P, uint64_t Seed) {
+  DiversityOptions Opts;
+  Opts.Model = ProbabilityModel::Uniform;
+  Opts.PMin = P;
+  Opts.PMax = P;
+  Opts.Seed = Seed;
+  return Opts;
+}
+
+DiversityOptions DiversityOptions::profiled(ProbabilityModel Model,
+                                            double PMin, double PMax,
+                                            uint64_t Seed) {
+  assert(Model != ProbabilityModel::Uniform && "use uniform()");
+  DiversityOptions Opts;
+  Opts.Model = Model;
+  Opts.PMin = PMin;
+  Opts.PMax = PMax;
+  Opts.Seed = Seed;
+  return Opts;
+}
+
+std::string DiversityOptions::label() const {
+  char Buf[64];
+  if (Model == ProbabilityModel::Uniform) {
+    std::snprintf(Buf, sizeof(Buf), "pNOP=%.0f%%", PMax * 100.0);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "pNOP=%.0f-%.0f%%%s", PMin * 100.0,
+                  PMax * 100.0,
+                  Model == ProbabilityModel::Linear ? " (linear)" : "");
+  }
+  return Buf;
+}
+
+double diversity::nopProbability(uint64_t Count, uint64_t MaxCount,
+                                 const DiversityOptions &Opts) {
+  switch (Opts.Model) {
+  case ProbabilityModel::Uniform:
+    return Opts.PMax;
+  case ProbabilityModel::Linear: {
+    if (MaxCount == 0)
+      return Opts.PMax;
+    double Frac =
+        static_cast<double>(Count) / static_cast<double>(MaxCount);
+    return Opts.PMax - (Opts.PMax - Opts.PMin) * Frac;
+  }
+  case ProbabilityModel::Log: {
+    if (MaxCount == 0)
+      return Opts.PMax;
+    double Frac = std::log1p(static_cast<double>(Count)) /
+                  std::log1p(static_cast<double>(MaxCount));
+    return Opts.PMax - (Opts.PMax - Opts.PMin) * Frac;
+  }
+  }
+  return Opts.PMax;
+}
+
+InsertionStats diversity::insertNops(MModule &M,
+                                     const DiversityOptions &Opts) {
+  InsertionStats Stats;
+  Rng Generator(Opts.Seed);
+  unsigned NumNops =
+      Opts.IncludeXchgNops ? x86::NumNopKinds : x86::NumDefaultNopKinds;
+
+  // The paper's x_max: the hottest basic block in the whole program.
+  uint64_t MaxCount = 0;
+  for (const MFunction &F : M.Functions)
+    for (const MBasicBlock &BB : F.Blocks)
+      MaxCount = std::max(MaxCount, BB.ProfileCount);
+
+  for (MFunction &F : M.Functions) {
+    for (MBasicBlock &BB : F.Blocks) {
+      double PNop = nopProbability(BB.ProfileCount, MaxCount, Opts);
+      std::vector<MInstr> Out;
+      Out.reserve(BB.Instrs.size());
+      for (const MInstr &I : BB.Instrs) {
+        ++Stats.CandidateSites;
+        // Algorithm 1: roll, then pick a candidate NOP uniformly.
+        if (Generator.nextBernoulli(PNop)) {
+          MInstr Nop;
+          Nop.Op = MOp::Nop;
+          Nop.NopK =
+              static_cast<x86::NopKind>(Generator.nextBelow(NumNops));
+          ++Stats.NopsInserted;
+          ++Stats.PerKind[static_cast<size_t>(Nop.NopK)];
+          Out.push_back(Nop);
+        }
+        Out.push_back(I);
+      }
+      BB.Instrs = std::move(Out);
+    }
+  }
+  return Stats;
+}
+
+BlockShiftStats diversity::insertBlockShift(MModule &M, uint64_t Seed,
+                                            unsigned MaxPadding,
+                                            bool IncludeXchgNops) {
+  assert(MaxPadding >= 1 && "padding must be at least one instruction");
+  BlockShiftStats Stats;
+  Rng Generator(Seed);
+  unsigned NumNops =
+      IncludeXchgNops ? x86::NumNopKinds : x86::NumDefaultNopKinds;
+
+  for (MFunction &F : M.Functions) {
+    // Prepend [jmp over-pad] and [pad...] blocks; original blocks and
+    // every branch target shift by two.
+    for (MBasicBlock &BB : F.Blocks)
+      for (MInstr &I : BB.Instrs)
+        if (I.Op == MOp::Jmp || I.Op == MOp::Jcc)
+          I.Imm += 2;
+
+    MBasicBlock Entry;
+    Entry.Name = "shift.entry";
+    Entry.ProfileCount = F.Blocks.front().ProfileCount;
+    MInstr J;
+    J.Op = MOp::Jmp;
+    J.Imm = 2;
+    Entry.Instrs.push_back(J);
+
+    MBasicBlock Pad;
+    Pad.Name = "shift.pad";
+    Pad.ProfileCount = 0; // never executed: maximally cold
+    unsigned PadLen =
+        1 + static_cast<unsigned>(Generator.nextBelow(MaxPadding));
+    for (unsigned I = 0; I != PadLen; ++I) {
+      MInstr Nop;
+      Nop.Op = MOp::Nop;
+      Nop.NopK = static_cast<x86::NopKind>(Generator.nextBelow(NumNops));
+      Pad.Instrs.push_back(Nop);
+      ++Stats.PaddingInstrs;
+    }
+    // The pad block is jumped over but still needs a terminator for the
+    // verifier (and for an attacker landing in it, it falls through).
+    MInstr PadJ;
+    PadJ.Op = MOp::Jmp;
+    PadJ.Imm = 2;
+    Pad.Instrs.push_back(PadJ);
+
+    F.Blocks.insert(F.Blocks.begin(), {std::move(Entry), std::move(Pad)});
+    ++Stats.FunctionsShifted;
+  }
+  assert(mir::verify(M).empty() && "block shifting broke the module");
+  return Stats;
+}
+
+MModule diversity::makeVariant(const MModule &M, DiversityOptions Opts,
+                               uint64_t Seed, InsertionStats *Stats) {
+  MModule Variant = M; // deep copy, profile counts included
+  Opts.Seed = Seed;
+  InsertionStats S = insertNops(Variant, Opts);
+  if (Stats)
+    *Stats = S;
+  return Variant;
+}

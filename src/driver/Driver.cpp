@@ -1,0 +1,83 @@
+//===-- driver/Driver.cpp - End-to-end pipeline facade ---------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "lir/ISel.h"
+#include "passes/Passes.h"
+
+using namespace pgsd;
+using namespace pgsd::driver;
+
+Program driver::compileProgram(std::string_view Source,
+                               const std::string &Name, bool Optimize) {
+  Program P;
+  P.Name = Name;
+  std::vector<frontend::Diag> Diags;
+  P.IR = frontend::compileToIR(Source, Name, Diags);
+  if (!Diags.empty()) {
+    P.Errors = frontend::formatDiags(Diags);
+    return P;
+  }
+  std::string Problem = ir::verify(P.IR);
+  if (!Problem.empty()) {
+    P.Errors = "internal error: IR does not verify: " + Problem;
+    return P;
+  }
+  if (Optimize)
+    passes::optimize(P.IR);
+  P.MIR = lir::selectInstructions(P.IR);
+  // Passes expose each other's opportunities (a dead store uncovers a
+  // dead constant materialization); iterate to a bounded fixpoint.
+  for (unsigned Iter = 0; Iter != 4 && lir::peephole(P.MIR) != 0; ++Iter)
+    ;
+  Problem = mir::verify(P.MIR);
+  if (!Problem.empty()) {
+    P.Errors = "internal error: MIR does not verify: " + Problem;
+    return P;
+  }
+  P.OK = true;
+  return P;
+}
+
+bool driver::profileAndStamp(Program &P,
+                             const std::vector<int32_t> &TrainInput) {
+  mexec::RunOptions Opts;
+  Opts.Input = TrainInput;
+  profile::ProfileData Data = profile::profileModule(P.MIR, Opts);
+  if (Data.empty())
+    return false;
+  profile::applyCounts(P.MIR, Data);
+  P.HasProfile = true;
+  return true;
+}
+
+Variant driver::makeVariant(const Program &P,
+                            const diversity::DiversityOptions &Opts,
+                            uint64_t Seed,
+                            const codegen::LinkOptions &Link) {
+  Variant V;
+  V.MIR = diversity::makeVariant(P.MIR, Opts, Seed, &V.Stats);
+  V.Image = codegen::link(V.MIR, Link);
+  return V;
+}
+
+codegen::Image driver::linkBaseline(const Program &P,
+                                    const codegen::LinkOptions &Link) {
+  return codegen::link(P.MIR, Link);
+}
+
+mexec::RunResult driver::execute(const mir::MModule &MIR,
+                                 const std::vector<int32_t> &Input,
+                                 bool CollectOutput) {
+  mexec::RunOptions Opts;
+  Opts.Input = Input;
+  Opts.CollectOutput = CollectOutput;
+  return mexec::run(MIR, Opts);
+}

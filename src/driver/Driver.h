@@ -1,0 +1,90 @@
+//===-- driver/Driver.h - End-to-end pipeline facade -------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call public API over the whole pipeline of the paper's Figure 3:
+///
+///   source --parse/lower--> IR --O2--> MIR --[profile]--> counts
+///          --[NOP insertion]--> diversified MIR --emit/link--> image
+///
+/// Typical use (see examples/quickstart.cpp):
+/// \code
+///   driver::Program P = driver::compileProgram(Source, "demo");
+///   driver::profileAndStamp(P, TrainInput);               // train run
+///   auto Opts = diversity::DiversityOptions::profiled(
+///       diversity::ProbabilityModel::Log, 0.0, 0.3);
+///   driver::Variant V = driver::makeVariant(P, Opts, /*Seed=*/42);
+///   auto Result = driver::execute(V.MIR, RefInput);       // measure
+///   auto Gadgets = gadget::scanGadgets(V.Image.Text.data(),
+///                                      V.Image.Text.size());
+/// \endcode
+///
+//======---------------------------------------------------------------===//
+
+#ifndef PGSD_DRIVER_DRIVER_H
+#define PGSD_DRIVER_DRIVER_H
+
+#include "codegen/Linker.h"
+#include "diversity/NopInsertion.h"
+#include "ir/IR.h"
+#include "lir/MIR.h"
+#include "mexec/Interp.h"
+#include "profile/Profile.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgsd {
+namespace driver {
+
+/// A compiled (but not yet diversified) program.
+struct Program {
+  bool OK = false;
+  std::string Errors;   ///< Diagnostics when !OK.
+  std::string Name;
+  ir::Module IR;        ///< After mid-level optimization.
+  mir::MModule MIR;     ///< Machine IR; profile-stamped after
+                        ///< profileAndStamp.
+  bool HasProfile = false;
+};
+
+/// Compiles MiniC \p Source. \p Optimize runs the -O2-style pipeline.
+Program compileProgram(std::string_view Source, const std::string &Name,
+                       bool Optimize = true);
+
+/// Runs the instrumented program on \p TrainInput and stamps per-block
+/// execution counts into P.MIR. Returns false when the training run
+/// trapped (the program is left unstamped).
+bool profileAndStamp(Program &P, const std::vector<int32_t> &TrainInput);
+
+/// A diversified build.
+struct Variant {
+  mir::MModule MIR;
+  codegen::Image Image;
+  diversity::InsertionStats Stats;
+};
+
+/// Produces a diversified variant of \p P and links its image.
+Variant makeVariant(const Program &P,
+                    const diversity::DiversityOptions &Opts, uint64_t Seed,
+                    const codegen::LinkOptions &Link = codegen::LinkOptions());
+
+/// Links the undiversified baseline image of \p P.
+codegen::Image linkBaseline(const Program &P,
+                            const codegen::LinkOptions &Link =
+                                codegen::LinkOptions());
+
+/// Executes machine IR on \p Input with the default cost model.
+mexec::RunResult execute(const mir::MModule &MIR,
+                         const std::vector<int32_t> &Input,
+                         bool CollectOutput = false);
+
+} // namespace driver
+} // namespace pgsd
+
+#endif // PGSD_DRIVER_DRIVER_H

@@ -1,0 +1,307 @@
+//===-- frontend/Lexer.cpp - MiniC tokenizer -------------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+using namespace pgsd;
+using namespace pgsd::frontend;
+
+namespace {
+
+/// Cursor over the source text tracking line/column.
+class Cursor {
+public:
+  explicit Cursor(std::string_view Source) : Source(Source) {}
+
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  std::string_view slice(size_t Begin) const {
+    return Source.substr(Begin, Pos - Begin);
+  }
+
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+private:
+  std::string_view Source;
+};
+
+bool isIdentStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isIdentChar(char C) { return isIdentStart(C) || (C >= '0' && C <= '9'); }
+bool isDigit(char C) { return C >= '0' && C <= '9'; }
+bool isHexDigit(char C) {
+  return isDigit(C) || (C >= 'a' && C <= 'f') || (C >= 'A' && C <= 'F');
+}
+
+TokKind keywordKind(std::string_view Text) {
+  if (Text == "fn")
+    return TokKind::KwFn;
+  if (Text == "var")
+    return TokKind::KwVar;
+  if (Text == "array")
+    return TokKind::KwArray;
+  if (Text == "global")
+    return TokKind::KwGlobal;
+  if (Text == "if")
+    return TokKind::KwIf;
+  if (Text == "else")
+    return TokKind::KwElse;
+  if (Text == "while")
+    return TokKind::KwWhile;
+  if (Text == "for")
+    return TokKind::KwFor;
+  if (Text == "return")
+    return TokKind::KwReturn;
+  if (Text == "break")
+    return TokKind::KwBreak;
+  if (Text == "continue")
+    return TokKind::KwContinue;
+  return TokKind::Ident;
+}
+
+} // namespace
+
+std::vector<Token> frontend::lex(std::string_view Source) {
+  std::vector<Token> Tokens;
+  Cursor C(Source);
+
+  auto Emit = [&](TokKind Kind, size_t Begin, uint32_t Line, uint32_t Col,
+                  int64_t Value = 0) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = C.slice(Begin);
+    T.IntValue = Value;
+    T.Line = Line;
+    T.Col = Col;
+    Tokens.push_back(T);
+  };
+
+  while (!C.atEnd()) {
+    // Skip whitespace.
+    char Ch = C.peek();
+    if (Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n') {
+      C.advance();
+      continue;
+    }
+    // Skip comments.
+    if (Ch == '/' && C.peek(1) == '/') {
+      while (!C.atEnd() && C.peek() != '\n')
+        C.advance();
+      continue;
+    }
+    if (Ch == '/' && C.peek(1) == '*') {
+      C.advance();
+      C.advance();
+      while (!C.atEnd() && !(C.peek() == '*' && C.peek(1) == '/'))
+        C.advance();
+      if (!C.atEnd()) {
+        C.advance();
+        C.advance();
+      }
+      continue;
+    }
+
+    size_t Begin = C.Pos;
+    uint32_t Line = C.Line;
+    uint32_t Col = C.Col;
+
+    // Identifiers / keywords.
+    if (isIdentStart(Ch)) {
+      while (isIdentChar(C.peek()))
+        C.advance();
+      Emit(keywordKind(C.slice(Begin)), Begin, Line, Col);
+      continue;
+    }
+
+    // Integer literals (decimal or 0x hex). Negative numbers are formed
+    // with the unary minus operator.
+    if (isDigit(Ch)) {
+      int64_t Value = 0;
+      if (Ch == '0' && (C.peek(1) == 'x' || C.peek(1) == 'X')) {
+        C.advance();
+        C.advance();
+        if (!isHexDigit(C.peek())) {
+          Emit(TokKind::Error, Begin, Line, Col);
+          continue;
+        }
+        while (isHexDigit(C.peek())) {
+          char D = C.advance();
+          int Digit = isDigit(D) ? D - '0' : (D | 0x20) - 'a' + 10;
+          Value = Value * 16 + Digit;
+          Value &= 0xFFFFFFFF; // wrap like a 32-bit constant
+        }
+      } else {
+        while (isDigit(C.peek())) {
+          Value = Value * 10 + (C.advance() - '0');
+          Value &= 0xFFFFFFFF;
+        }
+      }
+      // Trailing identifier chars make the literal malformed ("12ab").
+      if (isIdentChar(C.peek())) {
+        while (isIdentChar(C.peek()))
+          C.advance();
+        Emit(TokKind::Error, Begin, Line, Col);
+        continue;
+      }
+      Emit(TokKind::IntLit, Begin, Line, Col,
+           static_cast<int64_t>(static_cast<int32_t>(Value)));
+      continue;
+    }
+
+    // Character literals: 'c' is sugar for its ASCII code.
+    if (Ch == '\'') {
+      C.advance();
+      char Inner = C.peek();
+      if (Inner == '\\') {
+        C.advance();
+        char Esc = C.peek();
+        C.advance();
+        switch (Esc) {
+        case 'n':
+          Inner = '\n';
+          break;
+        case 't':
+          Inner = '\t';
+          break;
+        case '0':
+          Inner = '\0';
+          break;
+        case '\\':
+          Inner = '\\';
+          break;
+        case '\'':
+          Inner = '\'';
+          break;
+        default:
+          Emit(TokKind::Error, Begin, Line, Col);
+          continue;
+        }
+      } else if (Inner != '\0') {
+        C.advance();
+      }
+      if (C.peek() != '\'') {
+        Emit(TokKind::Error, Begin, Line, Col);
+        continue;
+      }
+      C.advance();
+      Emit(TokKind::IntLit, Begin, Line, Col, static_cast<int64_t>(Inner));
+      continue;
+    }
+
+    // Operators and punctuation.
+    C.advance();
+    auto Two = [&](char Next, TokKind TwoKind, TokKind OneKind) {
+      if (C.peek() == Next) {
+        C.advance();
+        Emit(TwoKind, Begin, Line, Col);
+      } else {
+        Emit(OneKind, Begin, Line, Col);
+      }
+    };
+    switch (Ch) {
+    case '(':
+      Emit(TokKind::LParen, Begin, Line, Col);
+      break;
+    case ')':
+      Emit(TokKind::RParen, Begin, Line, Col);
+      break;
+    case '{':
+      Emit(TokKind::LBrace, Begin, Line, Col);
+      break;
+    case '}':
+      Emit(TokKind::RBrace, Begin, Line, Col);
+      break;
+    case '[':
+      Emit(TokKind::LBracket, Begin, Line, Col);
+      break;
+    case ']':
+      Emit(TokKind::RBracket, Begin, Line, Col);
+      break;
+    case ',':
+      Emit(TokKind::Comma, Begin, Line, Col);
+      break;
+    case ';':
+      Emit(TokKind::Semi, Begin, Line, Col);
+      break;
+    case '+':
+      Emit(TokKind::Plus, Begin, Line, Col);
+      break;
+    case '-':
+      Emit(TokKind::Minus, Begin, Line, Col);
+      break;
+    case '*':
+      Emit(TokKind::Star, Begin, Line, Col);
+      break;
+    case '/':
+      Emit(TokKind::Slash, Begin, Line, Col);
+      break;
+    case '%':
+      Emit(TokKind::Percent, Begin, Line, Col);
+      break;
+    case '^':
+      Emit(TokKind::Caret, Begin, Line, Col);
+      break;
+    case '~':
+      Emit(TokKind::Tilde, Begin, Line, Col);
+      break;
+    case '&':
+      Two('&', TokKind::AmpAmp, TokKind::Amp);
+      break;
+    case '|':
+      Two('|', TokKind::PipePipe, TokKind::Pipe);
+      break;
+    case '=':
+      Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      Two('=', TokKind::NotEq, TokKind::Bang);
+      break;
+    case '<':
+      if (C.peek() == '<') {
+        C.advance();
+        Emit(TokKind::Shl, Begin, Line, Col);
+      } else {
+        Two('=', TokKind::Le, TokKind::Lt);
+      }
+      break;
+    case '>':
+      if (C.peek() == '>') {
+        C.advance();
+        Emit(TokKind::Shr, Begin, Line, Col);
+      } else {
+        Two('=', TokKind::Ge, TokKind::Gt);
+      }
+      break;
+    default:
+      Emit(TokKind::Error, Begin, Line, Col);
+      break;
+    }
+  }
+
+  Token End;
+  End.Kind = TokKind::Eof;
+  End.Line = C.Line;
+  End.Col = C.Col;
+  Tokens.push_back(End);
+  return Tokens;
+}

@@ -1,0 +1,95 @@
+//===-- frontend/Lexer.h - MiniC tokenizer -----------------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MiniC, the C-like source language of the compiler
+/// pipeline (the "Program Source Code" box in the paper's Figure 3).
+/// The SPEC-like evaluation workloads are written in MiniC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_FRONTEND_LEXER_H
+#define PGSD_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgsd {
+namespace frontend {
+
+/// Token kinds. Punctuation tokens are named after their spelling.
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  IntLit,
+  Ident,
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwArray,
+  KwGlobal,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Assign,     // =
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  Slash,      // /
+  Percent,    // %
+  Amp,        // &
+  Pipe,       // |
+  Caret,      // ^
+  Tilde,      // ~
+  Bang,       // !
+  Shl,        // <<
+  Shr,        // >>
+  EqEq,       // ==
+  NotEq,      // !=
+  Lt,         // <
+  Le,         // <=
+  Gt,         // >
+  Ge,         // >=
+  AmpAmp,     // &&
+  PipePipe,   // ||
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  int64_t IntValue = 0; ///< Valid for IntLit.
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Tokenizes \p Source in one pass.
+///
+/// Never fails hard: malformed input yields Error tokens carrying the
+/// offending text, which the parser reports as diagnostics. The returned
+/// tokens view into \p Source, which must outlive them.
+std::vector<Token> lex(std::string_view Source);
+
+} // namespace frontend
+} // namespace pgsd
+
+#endif // PGSD_FRONTEND_LEXER_H

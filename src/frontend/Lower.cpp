@@ -1,0 +1,686 @@
+//===-- frontend/Lower.cpp - MiniC AST to IR lowering ----------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+#include <map>
+
+using namespace pgsd;
+using namespace pgsd::frontend;
+using ir::BlockId;
+using ir::Opcode;
+using ir::ValueId;
+
+namespace {
+
+/// What a name in scope refers to.
+struct Symbol {
+  enum class Kind : uint8_t {
+    Scalar,     ///< Local scalar or parameter: a virtual value.
+    LocalArray, ///< Frame object index.
+    Global,     ///< Module global index (scalar when NumWords == 1).
+  };
+  Kind K = Kind::Scalar;
+  uint32_t Index = 0; ///< ValueId / frame object index / global index.
+  bool IsScalarGlobal = false;
+};
+
+/// Signature of a callable: module functions and runtime builtins.
+struct CalleeInfo {
+  ir::Callee Target;
+  uint32_t Arity = 0;
+  bool ReturnsValue = false;
+};
+
+class Lowerer {
+public:
+  Lowerer(const Program &P, const std::string &ModuleName,
+          std::vector<Diag> &Diags)
+      : P(P), Diags(Diags) {
+    M.Name = ModuleName;
+  }
+
+  ir::Module run();
+
+private:
+  void error(uint32_t Line, uint32_t Col, std::string Msg) {
+    if (Diags.size() < 50)
+      Diags.push_back({Line, Col, std::move(Msg)});
+  }
+
+  // --- IR emission helpers -------------------------------------------
+  ir::BasicBlock &bb() { return F->Blocks[CurBB]; }
+
+  BlockId newBlock(const char *Name) {
+    F->Blocks.emplace_back();
+    F->Blocks.back().Name = Name;
+    return static_cast<BlockId>(F->Blocks.size() - 1);
+  }
+
+  /// Starts emitting into \p B.
+  void setBlock(BlockId B) {
+    CurBB = B;
+    Terminated = false;
+  }
+
+  ir::Instr &emit(Opcode Op) {
+    // Code after return/break/continue is unreachable; keep the IR well
+    // formed by diverting it into a fresh dead block (removed later by
+    // the CFG-simplification pass).
+    if (Terminated)
+      setBlock(newBlock("dead"));
+    bb().Instrs.emplace_back();
+    ir::Instr &I = bb().Instrs.back();
+    I.Op = Op;
+    if (ir::isTerminator(Op))
+      Terminated = true;
+    return I;
+  }
+
+  ValueId emitConst(int32_t V) {
+    ir::Instr &I = emit(Opcode::Const);
+    I.Dst = F->newValue();
+    I.Imm = V;
+    return I.Dst;
+  }
+
+  ValueId emitBinary(Opcode Op, ValueId A, ValueId B) {
+    ir::Instr &I = emit(Op);
+    I.Dst = F->newValue();
+    I.A = A;
+    I.B = B;
+    return I.Dst;
+  }
+
+  void emitCopy(ValueId Dst, ValueId Src) {
+    ir::Instr &I = emit(Opcode::Copy);
+    I.Dst = Dst;
+    I.A = Src;
+  }
+
+  void emitBr(BlockId Target) {
+    ir::Instr &I = emit(Opcode::Br);
+    I.Succ0 = Target;
+  }
+
+  void emitCondBr(ValueId Cond, BlockId True, BlockId False) {
+    ir::Instr &I = emit(Opcode::CondBr);
+    I.A = Cond;
+    I.Succ0 = True;
+    I.Succ1 = False;
+  }
+
+  // --- scopes ----------------------------------------------------------
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  const Symbol *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(), E = Scopes.rend(); It != E; ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    auto G = GlobalSyms.find(Name);
+    return G != GlobalSyms.end() ? &G->second : nullptr;
+  }
+
+  bool declare(const std::string &Name, Symbol Sym, uint32_t Line,
+               uint32_t Col) {
+    auto [It, Inserted] = Scopes.back().emplace(Name, Sym);
+    (void)It;
+    if (!Inserted)
+      error(Line, Col, "redefinition of '" + Name + "'");
+    return Inserted;
+  }
+
+  // --- lowering ---------------------------------------------------------
+  /// Returns the address value of the indexable named \p Name, or NoValue
+  /// after reporting an error.
+  ValueId lowerBaseAddress(const Symbol &Sym);
+  ValueId lowerExpr(const Expr &E);
+  ValueId lowerCall(const Expr &E, bool ResultUsed);
+  void lowerStmt(const Stmt &S);
+  void lowerBody(const std::vector<std::unique_ptr<Stmt>> &Body);
+  void lowerFunction(const FuncDecl &FD, ir::Function &Fn);
+
+  const Program &P;
+  std::vector<Diag> &Diags;
+  ir::Module M;
+
+  std::map<std::string, Symbol> GlobalSyms;
+  std::map<std::string, CalleeInfo> Callables;
+
+  ir::Function *F = nullptr;
+  BlockId CurBB = 0;
+  bool Terminated = false;
+  std::vector<std::map<std::string, Symbol>> Scopes;
+  std::vector<BlockId> BreakTargets;
+  std::vector<BlockId> ContinueTargets;
+};
+
+ValueId Lowerer::lowerBaseAddress(const Symbol &Sym) {
+  if (Sym.K == Symbol::Kind::LocalArray) {
+    ir::Instr &I = emit(Opcode::FrameAddr);
+    I.Dst = F->newValue();
+    I.Imm = Sym.Index;
+    return I.Dst;
+  }
+  assert(Sym.K == Symbol::Kind::Global && "scalar has no base address");
+  ir::Instr &I = emit(Opcode::GlobalAddr);
+  I.Dst = F->newValue();
+  I.Imm = Sym.Index;
+  return I.Dst;
+}
+
+ValueId Lowerer::lowerCall(const Expr &E, bool ResultUsed) {
+  auto It = Callables.find(E.Name);
+  if (It == Callables.end()) {
+    error(E.Line, E.Col, "call to unknown function '" + E.Name + "'");
+    return emitConst(0);
+  }
+  const CalleeInfo &Info = It->second;
+  if (Info.Arity != E.Kids.size()) {
+    error(E.Line, E.Col, "wrong number of arguments to '" + E.Name + "'");
+    return emitConst(0);
+  }
+  if (ResultUsed && !Info.ReturnsValue) {
+    error(E.Line, E.Col, "'" + E.Name + "' does not return a value");
+    return emitConst(0);
+  }
+
+  std::vector<ValueId> Args;
+  Args.reserve(E.Kids.size());
+  for (const auto &Kid : E.Kids)
+    Args.push_back(lowerExpr(*Kid));
+
+  ir::Instr &I = emit(Opcode::Call);
+  I.Target = Info.Target;
+  I.Args = std::move(Args);
+  I.Dst = Info.ReturnsValue ? F->newValue() : ir::NoValue;
+  return I.Dst != ir::NoValue ? I.Dst : emitConst(0);
+}
+
+ValueId Lowerer::lowerExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return emitConst(static_cast<int32_t>(E.IntValue));
+
+  case Expr::Kind::VarRef: {
+    const Symbol *Sym = lookup(E.Name);
+    if (!Sym) {
+      error(E.Line, E.Col, "use of undeclared identifier '" + E.Name + "'");
+      return emitConst(0);
+    }
+    if (Sym->K == Symbol::Kind::Scalar)
+      return Sym->Index;
+    if (Sym->K == Symbol::Kind::Global && Sym->IsScalarGlobal) {
+      ValueId Addr = lowerBaseAddress(*Sym);
+      ir::Instr &I = emit(Opcode::Load);
+      I.Dst = F->newValue();
+      I.A = Addr;
+      return I.Dst;
+    }
+    // Arrays decay to their address, enabling pointer-style parameters.
+    return lowerBaseAddress(*Sym);
+  }
+
+  case Expr::Kind::Index: {
+    const Symbol *Sym = lookup(E.Name);
+    if (!Sym) {
+      error(E.Line, E.Col, "use of undeclared identifier '" + E.Name + "'");
+      return emitConst(0);
+    }
+    ValueId Base = Sym->K == Symbol::Kind::Scalar ? Sym->Index
+                                                  : lowerBaseAddress(*Sym);
+    ValueId Index = lowerExpr(*E.Kids[0]);
+    ValueId Two = emitConst(2);
+    ValueId Scaled = emitBinary(Opcode::Shl, Index, Two);
+    ValueId Addr = emitBinary(Opcode::Add, Base, Scaled);
+    ir::Instr &I = emit(Opcode::Load);
+    I.Dst = F->newValue();
+    I.A = Addr;
+    return I.Dst;
+  }
+
+  case Expr::Kind::Call:
+    return lowerCall(E, /*ResultUsed=*/true);
+
+  case Expr::Kind::Unary: {
+    ValueId A = lowerExpr(*E.Kids[0]);
+    switch (E.Op) {
+    case TokKind::Minus: {
+      ir::Instr &I = emit(Opcode::Neg);
+      I.Dst = F->newValue();
+      I.A = A;
+      return I.Dst;
+    }
+    case TokKind::Tilde: {
+      ir::Instr &I = emit(Opcode::Not);
+      I.Dst = F->newValue();
+      I.A = A;
+      return I.Dst;
+    }
+    case TokKind::Bang: {
+      ValueId Zero = emitConst(0);
+      return emitBinary(Opcode::CmpEq, A, Zero);
+    }
+    default:
+      assert(false && "unexpected unary operator");
+      return A;
+    }
+  }
+
+  case Expr::Kind::Binary: {
+    ValueId A = lowerExpr(*E.Kids[0]);
+    ValueId B = lowerExpr(*E.Kids[1]);
+    Opcode Op;
+    switch (E.Op) {
+    case TokKind::Plus:
+      Op = Opcode::Add;
+      break;
+    case TokKind::Minus:
+      Op = Opcode::Sub;
+      break;
+    case TokKind::Star:
+      Op = Opcode::Mul;
+      break;
+    case TokKind::Slash:
+      Op = Opcode::Div;
+      break;
+    case TokKind::Percent:
+      Op = Opcode::Rem;
+      break;
+    case TokKind::Amp:
+      Op = Opcode::And;
+      break;
+    case TokKind::Pipe:
+      Op = Opcode::Or;
+      break;
+    case TokKind::Caret:
+      Op = Opcode::Xor;
+      break;
+    case TokKind::Shl:
+      Op = Opcode::Shl;
+      break;
+    case TokKind::Shr:
+      Op = Opcode::AShr;
+      break;
+    case TokKind::EqEq:
+      Op = Opcode::CmpEq;
+      break;
+    case TokKind::NotEq:
+      Op = Opcode::CmpNe;
+      break;
+    case TokKind::Lt:
+      Op = Opcode::CmpLt;
+      break;
+    case TokKind::Le:
+      Op = Opcode::CmpLe;
+      break;
+    case TokKind::Gt:
+      Op = Opcode::CmpGt;
+      break;
+    case TokKind::Ge:
+      Op = Opcode::CmpGe;
+      break;
+    default:
+      assert(false && "unexpected binary operator");
+      Op = Opcode::Add;
+      break;
+    }
+    return emitBinary(Op, A, B);
+  }
+
+  case Expr::Kind::And:
+  case Expr::Kind::Or: {
+    // Short-circuit evaluation producing 0/1.
+    bool IsAnd = E.K == Expr::Kind::And;
+    ValueId Result = F->newValue();
+    BlockId RhsBB = newBlock(IsAnd ? "and.rhs" : "or.rhs");
+    BlockId ShortBB = newBlock(IsAnd ? "and.false" : "or.true");
+    BlockId EndBB = newBlock(IsAnd ? "and.end" : "or.end");
+
+    ValueId Lhs = lowerExpr(*E.Kids[0]);
+    if (IsAnd)
+      emitCondBr(Lhs, RhsBB, ShortBB);
+    else
+      emitCondBr(Lhs, ShortBB, RhsBB);
+
+    setBlock(RhsBB);
+    ValueId Rhs = lowerExpr(*E.Kids[1]);
+    ValueId Zero = emitConst(0);
+    ValueId RhsBool = emitBinary(Opcode::CmpNe, Rhs, Zero);
+    emitCopy(Result, RhsBool);
+    emitBr(EndBB);
+
+    setBlock(ShortBB);
+    ValueId ShortVal = emitConst(IsAnd ? 0 : 1);
+    emitCopy(Result, ShortVal);
+    emitBr(EndBB);
+
+    setBlock(EndBB);
+    return Result;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return emitConst(0);
+}
+
+void Lowerer::lowerStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::VarDecl: {
+    ValueId Init = S.E0 ? lowerExpr(*S.E0) : emitConst(0);
+    ValueId Var = F->newValue();
+    emitCopy(Var, Init);
+    Symbol Sym;
+    Sym.K = Symbol::Kind::Scalar;
+    Sym.Index = Var;
+    declare(S.Name, Sym, S.Line, S.Col);
+    return;
+  }
+
+  case Stmt::Kind::ArrayDecl: {
+    Symbol Sym;
+    Sym.K = Symbol::Kind::LocalArray;
+    Sym.Index = static_cast<uint32_t>(F->FrameObjects.size());
+    F->FrameObjects.push_back(
+        {static_cast<uint32_t>(S.ArraySize) * 4});
+    declare(S.Name, Sym, S.Line, S.Col);
+    return;
+  }
+
+  case Stmt::Kind::Assign: {
+    const Symbol *Sym = lookup(S.Name);
+    if (!Sym) {
+      error(S.Line, S.Col, "use of undeclared identifier '" + S.Name + "'");
+      return;
+    }
+    if (Sym->K == Symbol::Kind::Scalar) {
+      ValueId V = lowerExpr(*S.E0);
+      emitCopy(Sym->Index, V);
+      return;
+    }
+    if (Sym->K == Symbol::Kind::Global && Sym->IsScalarGlobal) {
+      ValueId V = lowerExpr(*S.E0);
+      ValueId Addr = lowerBaseAddress(*Sym);
+      ir::Instr &I = emit(Opcode::Store);
+      I.A = Addr;
+      I.B = V;
+      return;
+    }
+    error(S.Line, S.Col, "cannot assign to array '" + S.Name + "'");
+    return;
+  }
+
+  case Stmt::Kind::IndexAssign: {
+    const Symbol *Sym = lookup(S.Name);
+    if (!Sym) {
+      error(S.Line, S.Col, "use of undeclared identifier '" + S.Name + "'");
+      return;
+    }
+    ValueId Base = Sym->K == Symbol::Kind::Scalar ? Sym->Index
+                                                  : lowerBaseAddress(*Sym);
+    ValueId Index = lowerExpr(*S.E0);
+    ValueId Value = lowerExpr(*S.E1);
+    ValueId Two = emitConst(2);
+    ValueId Scaled = emitBinary(Opcode::Shl, Index, Two);
+    ValueId Addr = emitBinary(Opcode::Add, Base, Scaled);
+    ir::Instr &I = emit(Opcode::Store);
+    I.A = Addr;
+    I.B = Value;
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    BlockId ThenBB = newBlock("if.then");
+    BlockId EndBB = newBlock("if.end");
+    BlockId ElseBB = S.ElseBody.empty() ? EndBB : newBlock("if.else");
+    ValueId Cond = lowerExpr(*S.E0);
+    emitCondBr(Cond, ThenBB, ElseBB);
+
+    setBlock(ThenBB);
+    lowerBody(S.Body);
+    if (!Terminated)
+      emitBr(EndBB);
+
+    if (!S.ElseBody.empty()) {
+      setBlock(ElseBB);
+      lowerBody(S.ElseBody);
+      if (!Terminated)
+        emitBr(EndBB);
+    }
+    setBlock(EndBB);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    BlockId CondBB = newBlock("while.cond");
+    BlockId BodyBB = newBlock("while.body");
+    BlockId EndBB = newBlock("while.end");
+    emitBr(CondBB);
+
+    setBlock(CondBB);
+    ValueId Cond = lowerExpr(*S.E0);
+    emitCondBr(Cond, BodyBB, EndBB);
+
+    setBlock(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(CondBB);
+    lowerBody(S.Body);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (!Terminated)
+      emitBr(CondBB);
+
+    setBlock(EndBB);
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    pushScope(); // the init clause may declare a variable
+    if (S.Init)
+      lowerStmt(*S.Init);
+    BlockId CondBB = newBlock("for.cond");
+    BlockId BodyBB = newBlock("for.body");
+    BlockId StepBB = newBlock("for.step");
+    BlockId EndBB = newBlock("for.end");
+    emitBr(CondBB);
+
+    setBlock(CondBB);
+    if (S.E0) {
+      ValueId Cond = lowerExpr(*S.E0);
+      emitCondBr(Cond, BodyBB, EndBB);
+    } else {
+      emitBr(BodyBB);
+    }
+
+    setBlock(BodyBB);
+    BreakTargets.push_back(EndBB);
+    ContinueTargets.push_back(StepBB);
+    lowerBody(S.Body);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    if (!Terminated)
+      emitBr(StepBB);
+
+    setBlock(StepBB);
+    if (S.Step)
+      lowerStmt(*S.Step);
+    emitBr(CondBB);
+
+    setBlock(EndBB);
+    popScope();
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    ValueId V = S.E0 ? lowerExpr(*S.E0) : emitConst(0);
+    ir::Instr &I = emit(Opcode::Ret);
+    I.A = V;
+    return;
+  }
+
+  case Stmt::Kind::Break:
+    if (BreakTargets.empty()) {
+      error(S.Line, S.Col, "'break' outside of a loop");
+      return;
+    }
+    emitBr(BreakTargets.back());
+    return;
+
+  case Stmt::Kind::Continue:
+    if (ContinueTargets.empty()) {
+      error(S.Line, S.Col, "'continue' outside of a loop");
+      return;
+    }
+    emitBr(ContinueTargets.back());
+    return;
+
+  case Stmt::Kind::ExprStmt:
+    if (S.E0->K == Expr::Kind::Call)
+      lowerCall(*S.E0, /*ResultUsed=*/false);
+    else
+      lowerExpr(*S.E0); // evaluated for effect; harmless
+    return;
+  }
+}
+
+void Lowerer::lowerBody(const std::vector<std::unique_ptr<Stmt>> &Body) {
+  pushScope();
+  for (const auto &S : Body)
+    lowerStmt(*S);
+  popScope();
+}
+
+void Lowerer::lowerFunction(const FuncDecl &FD, ir::Function &Fn) {
+  F = &Fn;
+  Scopes.clear();
+  BreakTargets.clear();
+  ContinueTargets.clear();
+
+  Fn.Blocks.emplace_back();
+  Fn.Blocks.back().Name = "entry";
+  setBlock(0);
+
+  pushScope();
+  for (uint32_t I = 0, E = static_cast<uint32_t>(FD.Params.size()); I != E;
+       ++I) {
+    Symbol Sym;
+    Sym.K = Symbol::Kind::Scalar;
+    Sym.Index = I;
+    declare(FD.Params[I], Sym, FD.Line, 1);
+  }
+  lowerBody(FD.Body);
+  popScope();
+
+  // Fall-off-the-end returns 0, and any dead blocks created after
+  // terminators also need a terminator for the verifier.
+  for (BlockId B = 0, E = static_cast<BlockId>(Fn.Blocks.size()); B != E;
+       ++B) {
+    ir::BasicBlock &BB = Fn.Blocks[B];
+    if (!BB.Instrs.empty() && ir::isTerminator(BB.Instrs.back().Op))
+      continue;
+    setBlock(B);
+    Terminated = false;
+    ValueId Zero = emitConst(0);
+    ir::Instr &I = emit(Opcode::Ret);
+    I.A = Zero;
+  }
+}
+
+ir::Module Lowerer::run() {
+  // Register globals.
+  for (const GlobalDecl &G : P.Globals) {
+    if (GlobalSyms.count(G.Name)) {
+      error(G.Line, 1, "redefinition of global '" + G.Name + "'");
+      continue;
+    }
+    Symbol Sym;
+    Sym.K = Symbol::Kind::Global;
+    Sym.Index = static_cast<uint32_t>(M.Globals.size());
+    Sym.IsScalarGlobal = G.NumWords == 1;
+    GlobalSyms.emplace(G.Name, Sym);
+    ir::Global IRG;
+    IRG.Name = G.Name;
+    IRG.SizeBytes = G.NumWords * 4;
+    IRG.Init = G.Init;
+    M.Globals.push_back(std::move(IRG));
+  }
+
+  // Register builtins, then function signatures (two-pass so forward
+  // calls work).
+  auto Builtin = [&](const char *Name, ir::Intrinsic I, uint32_t Arity,
+                     bool Returns) {
+    CalleeInfo Info;
+    Info.Target = ir::Callee::intrinsic(I);
+    Info.Arity = Arity;
+    Info.ReturnsValue = Returns;
+    Callables.emplace(Name, Info);
+  };
+  Builtin("print_int", ir::Intrinsic::PrintI32, 1, false);
+  Builtin("print_char", ir::Intrinsic::PrintChar, 1, false);
+  Builtin("read_int", ir::Intrinsic::ReadI32, 0, true);
+  Builtin("input_len", ir::Intrinsic::InputLen, 0, true);
+  Builtin("sink", ir::Intrinsic::Sink, 1, false);
+
+  for (const FuncDecl &FD : P.Funcs) {
+    if (Callables.count(FD.Name)) {
+      error(FD.Line, 1, "redefinition of function '" + FD.Name + "'");
+      continue;
+    }
+    CalleeInfo Info;
+    Info.Target =
+        ir::Callee::function(static_cast<ir::FuncId>(M.Functions.size()));
+    Info.Arity = static_cast<uint32_t>(FD.Params.size());
+    Info.ReturnsValue = true; // every MiniC function returns i32
+    Callables.emplace(FD.Name, Info);
+
+    ir::Function Fn;
+    Fn.Name = FD.Name;
+    Fn.NumParams = Info.Arity;
+    Fn.NumValues = Info.Arity;
+    M.Functions.push_back(std::move(Fn));
+  }
+
+  // Lower bodies.
+  size_t FnIndex = 0;
+  for (const FuncDecl &FD : P.Funcs) {
+    auto It = Callables.find(FD.Name);
+    if (It == Callables.end() || It->second.Target.IsIntrinsic)
+      continue; // was a redefinition
+    if (M.Functions[It->second.Target.Func].Blocks.empty())
+      lowerFunction(FD, M.Functions[It->second.Target.Func]);
+    ++FnIndex;
+  }
+
+  if (M.findFunction("main") < 0)
+    error(1, 1, "program has no 'main' function");
+  else if (M.Functions[M.findFunction("main")].NumParams != 0)
+    error(1, 1, "'main' must take no parameters");
+
+  return std::move(M);
+}
+
+} // namespace
+
+ir::Module frontend::lower(const Program &P, const std::string &ModuleName,
+                           std::vector<Diag> &Diags) {
+  Lowerer L(P, ModuleName, Diags);
+  return L.run();
+}
+
+ir::Module frontend::compileToIR(std::string_view Source,
+                                 const std::string &ModuleName,
+                                 std::vector<Diag> &Diags) {
+  Program P = parse(Source, Diags);
+  if (!Diags.empty())
+    return ir::Module();
+  return lower(P, ModuleName, Diags);
+}

@@ -1,0 +1,43 @@
+//===-- frontend/Lower.h - MiniC AST to IR lowering --------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis plus AST-to-IR lowering (the "IR Gen" arrow of the
+/// paper's Figure 3). Produces the register-based mid-level IR that the
+/// optimization pipeline and backend consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_FRONTEND_LOWER_H
+#define PGSD_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/IR.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgsd {
+namespace frontend {
+
+/// Lowers \p P to an IR module named \p ModuleName.
+///
+/// Semantic errors (unknown identifiers, arity mismatches, assignment to
+/// arrays, break outside loops, ...) are appended to \p Diags; the module
+/// is only meaningful when no diagnostics were produced.
+ir::Module lower(const Program &P, const std::string &ModuleName,
+                 std::vector<Diag> &Diags);
+
+/// Convenience: parse + lower in one call.
+ir::Module compileToIR(std::string_view Source, const std::string &ModuleName,
+                       std::vector<Diag> &Diags);
+
+} // namespace frontend
+} // namespace pgsd
+
+#endif // PGSD_FRONTEND_LOWER_H

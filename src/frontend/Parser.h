@@ -1,0 +1,36 @@
+//===-- frontend/Parser.h - MiniC parser -------------------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser turning MiniC source into the AST of Ast.h
+/// (the Parser arrow of the paper's Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_FRONTEND_PARSER_H
+#define PGSD_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace pgsd {
+namespace frontend {
+
+/// Parses \p Source.
+///
+/// Syntax errors are appended to \p Diags; the parser recovers at
+/// statement boundaries, so a non-empty Program may be returned alongside
+/// diagnostics. Callers must treat any diagnostics as failure.
+Program parse(std::string_view Source, std::vector<Diag> &Diags);
+
+} // namespace frontend
+} // namespace pgsd
+
+#endif // PGSD_FRONTEND_PARSER_H

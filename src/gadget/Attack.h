@@ -1,0 +1,105 @@
+//===-- gadget/Attack.h - ROP attack feasibility checking --------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete-attack half of the paper's Section 5.2: the authors ran
+/// two public gadget scanners (ROPgadget and their own microgadgets
+/// tool) against PHP, verified the undiversified binary was exploitable,
+/// and showed that on each of the 25 diversified versions "the remaining
+/// gadgets did not provide the required operations for the attack".
+///
+/// This module reimplements that check: gadgets are classified into
+/// ROP-VM operations (register loads via POP, memory stores, register
+/// moves, arithmetic, syscall triggers), and two attack models test
+/// whether a gadget set still provides every operation an execve-style
+/// payload needs:
+///
+///  * RopGadgetModel -- ROPgadget-like: any-size gadgets; needs POP
+///    gadgets for EAX/EBX/ECX/EDX, a memory store, and INT 0x80.
+///  * MicrogadgetModel -- microgadgets-like: same operations but every
+///    gadget must be at most 3 bytes long (the paper's microgadget size
+///    bound), with register-move chaining allowed to reach operands.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_GADGET_ATTACK_H
+#define PGSD_GADGET_ATTACK_H
+
+#include "gadget/Scanner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace gadget {
+
+/// ROP-VM operation classes.
+enum class GadgetClass : uint8_t {
+  PopReg,   ///< pop r32; ret          -- load a constant from the stack.
+  StoreMem, ///< mov [r32], r32; ret   -- write attacker data to memory.
+  LoadMem,  ///< mov r32, [r32]; ret   -- read memory.
+  MoveReg,  ///< mov/xchg r32, r32; ret -- shuffle registers.
+  ArithReg, ///< add/sub/xor/or/and r32, r32; ret.
+  Syscall,  ///< int 0x80 / sysenter reachable as a gadget.
+  Other,    ///< Valid gadget without a recognized payload use.
+};
+
+/// One classified gadget occurrence.
+struct ClassifiedGadget {
+  GadgetClass Class = GadgetClass::Other;
+  uint32_t Offset = 0;
+  uint32_t ByteLength = 0; ///< NOP-normalized payload length in bytes.
+  uint8_t Dst = 0;         ///< Destination register number, if any.
+  uint8_t Src = 0;         ///< Source register number, if any.
+};
+
+/// Classifies every gadget in \p Text (NOPs are normalized away first,
+/// mirroring what an attacker would do with a diversified binary).
+std::vector<ClassifiedGadget>
+classifyGadgets(const uint8_t *Text, size_t Size,
+                const ScanOptions &Opts = ScanOptions());
+
+/// Attack models from the paper's case study.
+enum class AttackModel : uint8_t {
+  RopGadget,   ///< ROPgadget-style execve chain.
+  Microgadget, ///< microgadgets-style chain (<= 3-byte gadgets).
+};
+
+/// Verdict of an attack-construction attempt.
+struct AttackOutcome {
+  bool Feasible = false;
+  /// Human-readable list of the missing operations when infeasible.
+  std::string Missing;
+  /// Gadget counts per class that the model considered usable.
+  uint64_t NumPop = 0;
+  uint64_t NumStore = 0;
+  uint64_t NumSyscall = 0;
+  uint64_t NumMove = 0;
+  uint64_t NumArith = 0;
+};
+
+/// Attempts to assemble the model's payload from \p Gadgets.
+AttackOutcome checkAttack(const std::vector<ClassifiedGadget> &Gadgets,
+                          AttackModel Model);
+
+/// Convenience: classify + check in one call.
+AttackOutcome checkAttackOnImage(const std::vector<uint8_t> &Text,
+                                 AttackModel Model,
+                                 const ScanOptions &Opts = ScanOptions());
+
+/// Restricts \p Gadgets to those whose (offset, normalized content)
+/// identity is in \p Survivors -- the paper re-ran its scanners "on the
+/// surviving gadgets" of each diversified version.
+std::vector<ClassifiedGadget>
+filterToSurvivors(const std::vector<ClassifiedGadget> &Gadgets,
+                  const std::vector<SurvivingGadget> &Survivors);
+
+} // namespace gadget
+} // namespace pgsd
+
+#endif // PGSD_GADGET_ATTACK_H

@@ -1,0 +1,156 @@
+//===-- gadget/Scanner.cpp - ROP gadget scanning and Survivor --------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gadget/Scanner.h"
+
+#include "x86/Decoder.h"
+#include "x86/Nops.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace pgsd;
+using namespace pgsd::gadget;
+using x86::Decoded;
+
+bool gadget::decodeGadgetAt(const uint8_t *Text, size_t Size,
+                            uint32_t Offset, const ScanOptions &Opts,
+                            std::vector<std::pair<uint32_t, uint8_t>> &InstrsOut) {
+  InstrsOut.clear();
+  uint32_t Pos = Offset;
+  for (unsigned N = 0; N != Opts.MaxInstrs; ++N) {
+    if (Pos >= Size)
+      return false;
+    Decoded D;
+    if (!x86::decodeInstr(Text + Pos, Size - Pos, D))
+      return false;
+    InstrsOut.push_back({Pos, D.Length});
+    if (D.isFreeBranch())
+      return true;
+    if (Opts.IncludeSyscallGadgets && D.Class == x86::InstrClass::IntN)
+      return true; // syscall-terminated gadget (attack checker mode)
+    if (!D.isUsableBody())
+      return false; // direct control flow, privileged, invalid
+    Pos += D.Length;
+  }
+  return false; // no terminator within the window
+}
+
+namespace {
+
+/// FNV-1a over a byte range.
+uint64_t hashBytes(uint64_t Hash, const uint8_t *Bytes, size_t Size) {
+  for (size_t I = 0; I != Size; ++I) {
+    Hash ^= Bytes[I];
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+} // namespace
+
+std::vector<Gadget> gadget::scanGadgets(const uint8_t *Text, size_t Size,
+                                        const ScanOptions &Opts) {
+  std::vector<Gadget> Gadgets;
+  std::vector<std::pair<uint32_t, uint8_t>> Instrs;
+  for (size_t Offset = 0; Offset < Size; ++Offset) {
+    if (!decodeGadgetAt(Text, Size, static_cast<uint32_t>(Offset), Opts,
+                        Instrs))
+      continue;
+    Gadget G;
+    G.Offset = static_cast<uint32_t>(Offset);
+    const auto &Last = Instrs.back();
+    G.Length = Last.first + Last.second - G.Offset;
+    G.NumInstrs = static_cast<uint8_t>(Instrs.size());
+    Gadgets.push_back(G);
+  }
+  return Gadgets;
+}
+
+bool gadget::normalizedGadgetHash(const uint8_t *Text, size_t Size,
+                                  uint32_t Offset, const ScanOptions &Opts,
+                                  uint64_t &HashOut,
+                                  unsigned &NonNopInstrsOut) {
+  std::vector<std::pair<uint32_t, uint8_t>> Instrs;
+  if (!decodeGadgetAt(Text, Size, Offset, Opts, Instrs))
+    return false;
+  uint64_t Hash = 1469598103934665603ull; // FNV offset basis
+  unsigned NonNop = 0;
+  for (const auto &[At, Len] : Instrs) {
+    x86::NopKind Kind;
+    // Remove all potentially inserted NOPs (paper Section 5.2). The
+    // match must cover the whole instruction: e.g. 89 E4 is a NOP, but
+    // 89 E4 as a prefix of a longer instruction is not.
+    if (x86::matchNopAt(Text + At, Len, Opts.IncludeXchgNops, Kind) &&
+        x86::nopInfo(Kind).Length == Len)
+      continue;
+    Hash = hashBytes(Hash, Text + At, Len);
+    ++NonNop;
+  }
+  HashOut = Hash;
+  NonNopInstrsOut = NonNop;
+  return true;
+}
+
+std::vector<SurvivingGadget>
+gadget::survivingGadgets(const std::vector<uint8_t> &Original,
+                         const std::vector<uint8_t> &Diversified,
+                         const ScanOptions &Opts) {
+  std::vector<SurvivingGadget> Survivors;
+  // Candidate matches are pairs at identical offsets; scan the original
+  // and probe the diversified image at the same offsets.
+  std::vector<Gadget> OrigGadgets =
+      scanGadgets(Original.data(), Original.size(), Opts);
+  for (const Gadget &G : OrigGadgets) {
+    uint64_t HashA, HashB;
+    unsigned NonNopA, NonNopB;
+    if (!normalizedGadgetHash(Original.data(), Original.size(), G.Offset,
+                              Opts, HashA, NonNopA))
+      continue;
+    if (G.Offset >= Diversified.size())
+      continue;
+    if (!normalizedGadgetHash(Diversified.data(), Diversified.size(),
+                              G.Offset, Opts, HashB, NonNopB))
+      continue;
+    if (HashA == HashB)
+      Survivors.push_back({G.Offset, HashA});
+  }
+  return Survivors;
+}
+
+std::vector<uint64_t>
+gadget::gadgetsInAtLeast(const std::vector<std::vector<uint8_t>> &Versions,
+                         const std::vector<unsigned> &Thresholds,
+                         const ScanOptions &Opts) {
+  // Identity = (offset, normalized content hash). Count occurrences
+  // across versions; each version contributes one occurrence per
+  // identity.
+  std::unordered_map<uint64_t, unsigned> Occurrences;
+  for (const std::vector<uint8_t> &Text : Versions) {
+    std::vector<Gadget> Gadgets =
+        scanGadgets(Text.data(), Text.size(), Opts);
+    for (const Gadget &G : Gadgets) {
+      uint64_t Hash;
+      unsigned NonNop;
+      if (!normalizedGadgetHash(Text.data(), Text.size(), G.Offset, Opts,
+                                Hash, NonNop))
+        continue;
+      uint64_t Identity =
+          Hash ^ (static_cast<uint64_t>(G.Offset) * 0x9e3779b97f4a7c15ull);
+      ++Occurrences[Identity];
+    }
+  }
+  std::vector<uint64_t> Result(Thresholds.size(), 0);
+  for (const auto &[Identity, Count] : Occurrences) {
+    (void)Identity;
+    for (size_t T = 0; T != Thresholds.size(); ++T)
+      if (Count >= Thresholds[T])
+        ++Result[T];
+  }
+  return Result;
+}

@@ -1,0 +1,103 @@
+//===-- gadget/Scanner.h - ROP gadget scanning and Survivor ------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Security measurement tools from the paper's Section 5.2.
+///
+/// * scanGadgets: finds all gadget start offsets in a .text image --
+///   sequences that decode to valid x86 with no control flow except a
+///   final free branch (return, indirect call, or indirect jump).
+///   Privileged and undefined instructions disqualify a candidate, the
+///   property the paper designed its NOP second bytes around.
+///
+/// * survivingGadgets: the paper's "Survivor" comparison. A candidate
+///   match is a pair of gadgets at *identical offsets* in the original
+///   and diversified .text. Both sequences are normalized by removing
+///   every potentially-inserted Table 1 NOP; equal normalized sequences
+///   count as a surviving gadget. As in the paper, normalization can
+///   only make sequences more similar, so the count conservatively
+///   overestimates survival.
+///
+/// * multi-version survival: how many gadget identities (offset +
+///   normalized content) appear in at least K of N diversified versions
+///   (the paper's Table 3: K in {2, 5, 12} of N = 25).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_GADGET_SCANNER_H
+#define PGSD_GADGET_SCANNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgsd {
+namespace gadget {
+
+/// Scanner configuration.
+struct ScanOptions {
+  /// Maximum instructions per gadget, free branch included. Typical ROP
+  /// tooling uses small windows; 8 keeps counts comparable to the
+  /// paper's scanners.
+  unsigned MaxInstrs = 8;
+  /// Recognize the XCHG NOPs during normalization too.
+  bool IncludeXchgNops = true;
+  /// Also treat software interrupts (INT 0x80, SYSENTER) as gadget
+  /// terminators, the way attack tooling like ROPgadget lists syscall
+  /// gadgets. Off for the paper's Survivor counting (which only counts
+  /// free-branch-terminated sequences); on inside the attack checker.
+  bool IncludeSyscallGadgets = false;
+};
+
+/// One gadget occurrence.
+struct Gadget {
+  uint32_t Offset = 0;    ///< Start offset within .text.
+  uint32_t Length = 0;    ///< Bytes up to and including the free branch.
+  uint8_t NumInstrs = 0;  ///< Instructions including the free branch.
+};
+
+/// Scans \p Text for all gadget start offsets.
+std::vector<Gadget> scanGadgets(const uint8_t *Text, size_t Size,
+                                const ScanOptions &Opts = ScanOptions());
+
+/// Decodes the gadget starting at \p Offset into (offset, length)
+/// instruction boundaries including the terminator; returns false when
+/// no valid gadget starts there. Exposed for the attack classifier.
+bool decodeGadgetAt(const uint8_t *Text, size_t Size, uint32_t Offset,
+                    const ScanOptions &Opts,
+                    std::vector<std::pair<uint32_t, uint8_t>> &InstrsOut);
+
+/// A gadget that survived diversification at its original offset.
+struct SurvivingGadget {
+  uint32_t Offset = 0;
+  uint64_t NormHash = 0; ///< Hash of the NOP-normalized byte sequence.
+};
+
+/// Computes the NOP-normalized content hash of the gadget starting at
+/// \p Offset, or returns false when no valid gadget starts there.
+bool normalizedGadgetHash(const uint8_t *Text, size_t Size, uint32_t Offset,
+                          const ScanOptions &Opts, uint64_t &HashOut,
+                          unsigned &NonNopInstrsOut);
+
+/// The paper's Survivor algorithm over one (original, diversified) pair.
+std::vector<SurvivingGadget>
+survivingGadgets(const std::vector<uint8_t> &Original,
+                 const std::vector<uint8_t> &Diversified,
+                 const ScanOptions &Opts = ScanOptions());
+
+/// Multi-version analysis: returns, for each threshold in \p Thresholds,
+/// how many gadget identities (offset, normalized content) occur in at
+/// least that many of the \p Versions.
+std::vector<uint64_t>
+gadgetsInAtLeast(const std::vector<std::vector<uint8_t>> &Versions,
+                 const std::vector<unsigned> &Thresholds,
+                 const ScanOptions &Opts = ScanOptions());
+
+} // namespace gadget
+} // namespace pgsd
+
+#endif // PGSD_GADGET_SCANNER_H

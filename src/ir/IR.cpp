@@ -1,0 +1,348 @@
+//===-- ir/IR.cpp - Mid-level intermediate representation -----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpGt:
+    return "cmpgt";
+  case Opcode::CmpGe:
+    return "cmpge";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::GlobalAddr:
+    return "globaladdr";
+  case Opcode::FrameAddr:
+    return "frameaddr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "<bad>";
+}
+
+bool ir::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+}
+
+const char *ir::intrinsicName(Intrinsic I) {
+  switch (I) {
+  case Intrinsic::PrintI32:
+    return "print_int";
+  case Intrinsic::PrintChar:
+    return "print_char";
+  case Intrinsic::ReadI32:
+    return "read_int";
+  case Intrinsic::InputLen:
+    return "input_len";
+  case Intrinsic::Sink:
+    return "sink";
+  }
+  return "<bad>";
+}
+
+int Module::findFunction(const std::string &FnName) const {
+  for (size_t I = 0, E = Functions.size(); I != E; ++I)
+    if (Functions[I].Name == FnName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::vector<BlockId> ir::successors(const BasicBlock &BB) {
+  assert(!BB.Instrs.empty() && "block has no terminator");
+  const Instr &T = BB.terminator();
+  switch (T.Op) {
+  case Opcode::Br:
+    return {T.Succ0};
+  case Opcode::CondBr:
+    return {T.Succ0, T.Succ1};
+  case Opcode::Ret:
+    return {};
+  default:
+    assert(false && "block does not end in a terminator");
+    return {};
+  }
+}
+
+std::vector<std::vector<BlockId>> ir::predecessors(const Function &F) {
+  std::vector<std::vector<BlockId>> Preds(F.Blocks.size());
+  for (BlockId B = 0, E = static_cast<BlockId>(F.Blocks.size()); B != E; ++B)
+    for (BlockId S : successors(F.Blocks[B]))
+      Preds[S].push_back(B);
+  return Preds;
+}
+
+namespace {
+
+/// Appends printf-formatted text to a string.
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+/// Per-instruction structural checks shared by verify().
+std::string checkInstr(const Module &M, const Function &F, BlockId B,
+                       size_t Index, const Instr &I) {
+  auto Err = [&](const char *Msg) {
+    std::string S;
+    appendf(S, "%s: block %u instr %zu (%s): %s", F.Name.c_str(), B, Index,
+            opcodeName(I.Op), Msg);
+    return S;
+  };
+  auto CheckVal = [&](ValueId V) { return V < F.NumValues; };
+
+  switch (I.Op) {
+  case Opcode::Const:
+    if (!CheckVal(I.Dst))
+      return Err("dst out of range");
+    break;
+  case Opcode::Copy:
+  case Opcode::Neg:
+  case Opcode::Not:
+    if (!CheckVal(I.Dst) || !CheckVal(I.A))
+      return Err("operand out of range");
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    if (!CheckVal(I.Dst) || !CheckVal(I.A) || !CheckVal(I.B))
+      return Err("operand out of range");
+    break;
+  case Opcode::Load:
+    if (!CheckVal(I.Dst) || !CheckVal(I.A))
+      return Err("operand out of range");
+    break;
+  case Opcode::Store:
+    if (!CheckVal(I.A) || !CheckVal(I.B))
+      return Err("operand out of range");
+    break;
+  case Opcode::GlobalAddr:
+    if (!CheckVal(I.Dst))
+      return Err("dst out of range");
+    if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= M.Globals.size())
+      return Err("global index out of range");
+    break;
+  case Opcode::FrameAddr:
+    if (!CheckVal(I.Dst))
+      return Err("dst out of range");
+    if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= F.FrameObjects.size())
+      return Err("frame object index out of range");
+    break;
+  case Opcode::Call: {
+    if (I.Dst != NoValue && !CheckVal(I.Dst))
+      return Err("dst out of range");
+    for (ValueId Arg : I.Args)
+      if (!CheckVal(Arg))
+        return Err("argument out of range");
+    if (!I.Target.IsIntrinsic) {
+      if (I.Target.Func >= M.Functions.size())
+        return Err("callee out of range");
+      if (M.Functions[I.Target.Func].NumParams != I.Args.size())
+        return Err("call arity mismatch");
+    }
+    break;
+  }
+  case Opcode::Br:
+    if (I.Succ0 >= F.Blocks.size())
+      return Err("branch target out of range");
+    break;
+  case Opcode::CondBr:
+    if (!CheckVal(I.A))
+      return Err("condition out of range");
+    if (I.Succ0 >= F.Blocks.size() || I.Succ1 >= F.Blocks.size())
+      return Err("branch target out of range");
+    break;
+  case Opcode::Ret:
+    if (I.A != NoValue && !CheckVal(I.A))
+      return Err("return value out of range");
+    break;
+  }
+  return std::string();
+}
+
+} // namespace
+
+std::string ir::verify(const Module &M) {
+  for (const Function &F : M.Functions) {
+    if (F.Blocks.empty())
+      return F.Name + ": function has no blocks";
+    if (F.NumParams > F.NumValues)
+      return F.Name + ": more params than values";
+    for (BlockId B = 0, E = static_cast<BlockId>(F.Blocks.size()); B != E;
+         ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      if (BB.Instrs.empty())
+        return F.Name + ": empty basic block";
+      for (size_t I = 0, N = BB.Instrs.size(); I != N; ++I) {
+        bool IsLast = I + 1 == N;
+        if (isTerminator(BB.Instrs[I].Op) != IsLast) {
+          std::string S;
+          appendf(S, "%s: block %u: %s", F.Name.c_str(), B,
+                  IsLast ? "missing terminator" : "interior terminator");
+          return S;
+        }
+        std::string Problem = checkInstr(M, F, B, I, BB.Instrs[I]);
+        if (!Problem.empty())
+          return Problem;
+      }
+    }
+  }
+  return std::string();
+}
+
+std::string ir::print(const Module &M) {
+  std::string Out;
+  for (size_t G = 0, E = M.Globals.size(); G != E; ++G)
+    appendf(Out, "global @%s (#%zu), %u bytes\n", M.Globals[G].Name.c_str(),
+            G, M.Globals[G].SizeBytes);
+  for (size_t FI = 0, FE = M.Functions.size(); FI != FE; ++FI) {
+    const Function &F = M.Functions[FI];
+    appendf(Out, "func @%s (#%zu), %u params, %u values\n", F.Name.c_str(),
+            FI, F.NumParams, F.NumValues);
+    for (BlockId B = 0, BE = static_cast<BlockId>(F.Blocks.size()); B != BE;
+         ++B) {
+      const BasicBlock &BB = F.Blocks[B];
+      appendf(Out, "bb%u:%s%s\n", B, BB.Name.empty() ? "" : "  ; ",
+              BB.Name.c_str());
+      for (const Instr &I : BB.Instrs) {
+        Out += "  ";
+        switch (I.Op) {
+        case Opcode::Const:
+          appendf(Out, "v%u = const %lld", I.Dst,
+                  static_cast<long long>(I.Imm));
+          break;
+        case Opcode::Copy:
+        case Opcode::Neg:
+        case Opcode::Not:
+          appendf(Out, "v%u = %s v%u", I.Dst, opcodeName(I.Op), I.A);
+          break;
+        case Opcode::Load:
+          appendf(Out, "v%u = load [v%u + %lld]", I.Dst, I.A,
+                  static_cast<long long>(I.Imm));
+          break;
+        case Opcode::Store:
+          appendf(Out, "store [v%u + %lld] = v%u", I.A,
+                  static_cast<long long>(I.Imm), I.B);
+          break;
+        case Opcode::GlobalAddr:
+          appendf(Out, "v%u = globaladdr #%lld", I.Dst,
+                  static_cast<long long>(I.Imm));
+          break;
+        case Opcode::FrameAddr:
+          appendf(Out, "v%u = frameaddr #%lld", I.Dst,
+                  static_cast<long long>(I.Imm));
+          break;
+        case Opcode::Call: {
+          if (I.Dst != NoValue)
+            appendf(Out, "v%u = ", I.Dst);
+          if (I.Target.IsIntrinsic)
+            appendf(Out, "call %s(", intrinsicName(I.Target.Intr));
+          else
+            appendf(Out, "call @%s(",
+                    M.Functions[I.Target.Func].Name.c_str());
+          for (size_t A = 0, AE = I.Args.size(); A != AE; ++A)
+            appendf(Out, "%sv%u", A ? ", " : "", I.Args[A]);
+          Out += ")";
+          break;
+        }
+        case Opcode::Br:
+          appendf(Out, "br bb%u", I.Succ0);
+          break;
+        case Opcode::CondBr:
+          appendf(Out, "condbr v%u, bb%u, bb%u", I.A, I.Succ0, I.Succ1);
+          break;
+        case Opcode::Ret:
+          if (I.A == NoValue)
+            Out += "ret";
+          else
+            appendf(Out, "ret v%u", I.A);
+          break;
+        default:
+          appendf(Out, "v%u = %s v%u, v%u", I.Dst, opcodeName(I.Op), I.A,
+                  I.B);
+          break;
+        }
+        Out += '\n';
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,215 @@
+//===-- ir/IR.h - Mid-level intermediate representation ----------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mid-level IR of the compiler pipeline (the "IR" box in the paper's
+/// Figure 3). It is a CFG of basic blocks over three-address instructions
+/// with an unbounded set of 32-bit virtual values -- deliberately close in
+/// spirit to LLVM IR after lowering, but register-based rather than SSA to
+/// keep the frontend simple.
+///
+/// All scalar values are signed 32-bit integers (the substrate targets
+/// IA-32). Memory is a flat byte-addressed space shared by globals, frame
+/// objects (local arrays), and the stack; Load/Store take an address value
+/// plus a constant byte offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_IR_IR_H
+#define PGSD_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace ir {
+
+/// Identifies a virtual value within a function (dense, 0-based).
+using ValueId = uint32_t;
+/// Identifies a basic block within a function (dense, 0-based).
+using BlockId = uint32_t;
+/// Identifies a function within a module (dense, 0-based).
+using FuncId = uint32_t;
+
+/// Sentinel for "no value" (e.g. the result of a void call).
+inline constexpr ValueId NoValue = ~ValueId(0);
+/// Sentinel for "no block".
+inline constexpr BlockId NoBlock = ~BlockId(0);
+
+/// IR opcodes.
+enum class Opcode : uint8_t {
+  // Dst = Imm.
+  Const,
+  // Dst = A.
+  Copy,
+  // Dst = A op B.
+  Add,
+  Sub,
+  Mul,
+  Div, // signed; traps on divide-by-zero like the hardware
+  Rem, // signed remainder
+  And,
+  Or,
+  Xor,
+  Shl,  // shift left by (B & 31)
+  AShr, // arithmetic shift right by (B & 31)
+  // Dst = op A.
+  Neg,
+  Not,
+  // Dst = (A cmp B) ? 1 : 0.
+  CmpEq,
+  CmpNe,
+  CmpLt, // signed
+  CmpLe, // signed
+  CmpGt, // signed
+  CmpGe, // signed
+  // Dst = load32(A + Imm).
+  Load,
+  // store32(A + Imm) = B.
+  Store,
+  // Dst = address of module global #Imm.
+  GlobalAddr,
+  // Dst = address of frame object #Imm of this function.
+  FrameAddr,
+  // Dst = call Callee(Args...); Dst may be NoValue for void calls.
+  Call,
+  // Terminators.
+  Br,     // unconditional branch to Succ0
+  CondBr, // A != 0 ? Succ0 : Succ1
+  Ret,    // return A (or nothing when A == NoValue)
+};
+
+/// Returns a stable mnemonic for \p Op ("add", "condbr", ...).
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Br/CondBr/Ret.
+bool isTerminator(Opcode Op);
+
+/// Built-in runtime functions callable from IR.
+///
+/// These model the C-library entry points the paper's benchmarks use; at
+/// machine level they become calls into the (undiversified) libc stub the
+/// mini linker appends -- the source of the residual surviving gadgets
+/// observed in the paper's Tables 2 and 3.
+enum class Intrinsic : uint8_t {
+  PrintI32,  ///< void print_int(i32): prints and folds into the checksum.
+  PrintChar, ///< void print_char(i32): prints one character.
+  ReadI32,   ///< i32 read_int(): next input word, 0 when exhausted.
+  InputLen,  ///< i32 input_len(): number of input words remaining.
+  Sink,      ///< void sink(i32): folds a value into the run checksum only.
+};
+
+/// Number of distinct intrinsics.
+inline constexpr unsigned NumIntrinsics = 5;
+
+/// Returns the source-level name of \p I ("print_int", ...).
+const char *intrinsicName(Intrinsic I);
+
+/// Call target: either a module function or a runtime intrinsic.
+struct Callee {
+  bool IsIntrinsic = false;
+  FuncId Func = 0;          ///< Valid when !IsIntrinsic.
+  Intrinsic Intr = Intrinsic::PrintI32; ///< Valid when IsIntrinsic.
+
+  static Callee function(FuncId F) {
+    Callee C;
+    C.IsIntrinsic = false;
+    C.Func = F;
+    return C;
+  }
+  static Callee intrinsic(Intrinsic I) {
+    Callee C;
+    C.IsIntrinsic = true;
+    C.Intr = I;
+    return C;
+  }
+};
+
+/// One three-address instruction.
+///
+/// Field use by opcode: Dst/A/B as documented on Opcode; Imm holds the
+/// constant for Const, the byte offset for Load/Store, and the object
+/// index for GlobalAddr/FrameAddr; Succ0/Succ1 are branch targets; Target
+/// and Args describe calls.
+struct Instr {
+  Opcode Op = Opcode::Const;
+  ValueId Dst = NoValue;
+  ValueId A = NoValue;
+  ValueId B = NoValue;
+  int64_t Imm = 0;
+  BlockId Succ0 = NoBlock;
+  BlockId Succ1 = NoBlock;
+  Callee Target;
+  std::vector<ValueId> Args;
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct BasicBlock {
+  std::vector<Instr> Instrs;
+  std::string Name; ///< Optional label for dumps.
+
+  /// Returns the terminator; the block must be non-empty and well formed.
+  const Instr &terminator() const { return Instrs.back(); }
+};
+
+/// A stack-allocated object (local array / scalar slot taken by address).
+struct FrameObject {
+  uint32_t SizeBytes = 4;
+};
+
+/// A function: parameters arrive as values 0 .. NumParams-1.
+struct Function {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumValues = 0; ///< Total virtual values (params included).
+  std::vector<BasicBlock> Blocks; ///< Block 0 is the entry.
+  std::vector<FrameObject> FrameObjects;
+
+  /// Allocates a fresh virtual value.
+  ValueId newValue() { return NumValues++; }
+};
+
+/// A module global with optional initial words (zero-filled otherwise).
+struct Global {
+  std::string Name;
+  uint32_t SizeBytes = 4;
+  std::vector<int32_t> Init; ///< Initial 32-bit words, may be shorter.
+};
+
+/// A whole program.
+struct Module {
+  std::string Name;
+  std::vector<Function> Functions;
+  std::vector<Global> Globals;
+
+  /// Returns the index of function \p Name, or -1 if absent.
+  int findFunction(const std::string &Name) const;
+  /// Returns the index of the "main" entry function, or -1 if absent.
+  int entryFunction() const { return findFunction("main"); }
+};
+
+/// Computes the successor blocks of \p BB (0, 1, or 2 entries).
+std::vector<BlockId> successors(const BasicBlock &BB);
+
+/// Computes predecessor lists for every block of \p F.
+std::vector<std::vector<BlockId>> predecessors(const Function &F);
+
+/// Structural validity check; returns an empty string when OK, otherwise
+/// a description of the first problem found. Checked invariants: every
+/// block ends in exactly one terminator (and contains no interior ones),
+/// branch targets and value/global/frame indices are in range, and call
+/// arity matches the callee.
+std::string verify(const Module &M);
+
+/// Renders \p M as text (for tests and debugging).
+std::string print(const Module &M);
+
+} // namespace ir
+} // namespace pgsd
+
+#endif // PGSD_IR_IR_H

@@ -1,0 +1,40 @@
+//===-- lir/ISel.h - IR to machine-IR instruction selection ------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the mid-level IR to IA-32 machine IR (the "LR Gen" arrow of the
+/// paper's Figure 3) using the register/frame plan from RegPlan.h.
+///
+/// Calling convention (cdecl-like): arguments pushed right-to-left,
+/// caller cleans the stack, result in EAX, EBX/ESI/EDI callee-saved,
+/// EAX/ECX/EDX scratch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_LIR_ISEL_H
+#define PGSD_LIR_ISEL_H
+
+#include "ir/IR.h"
+#include "lir/MIR.h"
+
+namespace pgsd {
+namespace lir {
+
+/// Lowers \p M to machine IR. \p M must verify.
+mir::MModule selectInstructions(const ir::Module &M);
+
+/// Local cleanup over the selected code: forwards freshly stored values
+/// instead of reloading them (`mov [ebp+d], eax; mov ecx, [ebp+d]`
+/// becomes `mov [ebp+d], eax; mov ecx, eax`), removes self-moves, and
+/// drops reloads of a register that already holds the slot's value.
+/// \returns number of instructions changed or removed.
+unsigned peephole(mir::MModule &M);
+
+} // namespace lir
+} // namespace pgsd
+
+#endif // PGSD_LIR_ISEL_H

@@ -1,0 +1,339 @@
+//===-- lir/MIR.cpp - Low-level machine IR (IA-32) -------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lir/MIR.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::mir;
+using x86::Reg;
+
+const char *mir::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::MovRR:
+    return "mov";
+  case MOp::MovRI:
+    return "movi";
+  case MOp::MovGlobal:
+    return "movglobal";
+  case MOp::Load:
+    return "load";
+  case MOp::Store:
+    return "store";
+  case MOp::LoadFrame:
+    return "loadframe";
+  case MOp::StoreFrame:
+    return "storeframe";
+  case MOp::LeaFrame:
+    return "leaframe";
+  case MOp::AluRR:
+    return "alurr";
+  case MOp::AluRI:
+    return "aluri";
+  case MOp::ImulRR:
+    return "imul";
+  case MOp::Cdq:
+    return "cdq";
+  case MOp::Idiv:
+    return "idiv";
+  case MOp::Neg:
+    return "neg";
+  case MOp::Not:
+    return "not";
+  case MOp::ShiftRI:
+    return "shiftri";
+  case MOp::ShiftRC:
+    return "shiftrc";
+  case MOp::TestRR:
+    return "test";
+  case MOp::Setcc:
+    return "setcc";
+  case MOp::Movzx8:
+    return "movzx8";
+  case MOp::Push:
+    return "push";
+  case MOp::PushI:
+    return "pushi";
+  case MOp::Pop:
+    return "pop";
+  case MOp::AdjustSP:
+    return "adjustsp";
+  case MOp::Call:
+    return "call";
+  case MOp::Jmp:
+    return "jmp";
+  case MOp::Jcc:
+    return "jcc";
+  case MOp::Ret:
+    return "ret";
+  case MOp::Nop:
+    return "nop";
+  case MOp::ProfInc:
+    return "profinc";
+  }
+  return "<bad>";
+}
+
+bool mir::isMTerminator(MOp Op) {
+  return Op == MOp::Jmp || Op == MOp::Jcc || Op == MOp::Ret;
+}
+
+std::vector<uint32_t> MFunction::successors(uint32_t B) const {
+  assert(B < Blocks.size() && "block out of range");
+  std::vector<uint32_t> Succs;
+  const MBasicBlock &BB = Blocks[B];
+  bool SeenJmpOrRet = false;
+  for (const MInstr &I : BB.Instrs) {
+    if (I.Op == MOp::Jcc)
+      Succs.push_back(static_cast<uint32_t>(I.Imm));
+    else if (I.Op == MOp::Jmp) {
+      Succs.push_back(static_cast<uint32_t>(I.Imm));
+      SeenJmpOrRet = true;
+    } else if (I.Op == MOp::Ret) {
+      SeenJmpOrRet = true;
+    }
+  }
+  if (!SeenJmpOrRet && B + 1 < Blocks.size())
+    Succs.push_back(B + 1); // fallthrough
+  return Succs;
+}
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+const char *aluName(x86::AluOp Op) {
+  switch (Op) {
+  case x86::AluOp::Add:
+    return "add";
+  case x86::AluOp::Or:
+    return "or";
+  case x86::AluOp::Adc:
+    return "adc";
+  case x86::AluOp::Sbb:
+    return "sbb";
+  case x86::AluOp::And:
+    return "and";
+  case x86::AluOp::Sub:
+    return "sub";
+  case x86::AluOp::Xor:
+    return "xor";
+  case x86::AluOp::Cmp:
+    return "cmp";
+  }
+  return "<bad>";
+}
+
+const char *shiftName(x86::ShiftOp Op) {
+  switch (Op) {
+  case x86::ShiftOp::Shl:
+    return "shl";
+  case x86::ShiftOp::Shr:
+    return "shr";
+  case x86::ShiftOp::Sar:
+    return "sar";
+  }
+  return "<bad>";
+}
+
+} // namespace
+
+std::string mir::print(const MModule &M) {
+  std::string Out;
+  for (const MFunction &F : M.Functions) {
+    appendf(Out, "mfunc %s: frame=%u%s%s%s\n", F.Name.c_str(), F.FrameBytes,
+            F.UsesEbx ? " ebx" : "", F.UsesEsi ? " esi" : "",
+            F.UsesEdi ? " edi" : "");
+    for (uint32_t B = 0; B != F.Blocks.size(); ++B) {
+      const MBasicBlock &BB = F.Blocks[B];
+      appendf(Out, "mbb%u:  ; %s count=%llu\n", B, BB.Name.c_str(),
+              static_cast<unsigned long long>(BB.ProfileCount));
+      for (const MInstr &I : BB.Instrs) {
+        Out += "  ";
+        switch (I.Op) {
+        case MOp::MovRR:
+          appendf(Out, "mov %s, %s", regName(I.Dst), regName(I.Src));
+          break;
+        case MOp::MovRI:
+          appendf(Out, "mov %s, %d", regName(I.Dst), I.Imm);
+          break;
+        case MOp::MovGlobal:
+          appendf(Out, "mov %s, offset global#%d", regName(I.Dst), I.Imm);
+          break;
+        case MOp::Load:
+          appendf(Out, "mov %s, [%s%+d]", regName(I.Dst), regName(I.Src),
+                  I.Imm);
+          break;
+        case MOp::Store:
+          appendf(Out, "mov [%s%+d], %s", regName(I.Dst), I.Imm,
+                  regName(I.Src));
+          break;
+        case MOp::LoadFrame:
+          appendf(Out, "mov %s, [ebp%+d]", regName(I.Dst), I.Imm);
+          break;
+        case MOp::StoreFrame:
+          appendf(Out, "mov [ebp%+d], %s", I.Imm, regName(I.Src));
+          break;
+        case MOp::LeaFrame:
+          appendf(Out, "lea %s, [ebp%+d]", regName(I.Dst), I.Imm);
+          break;
+        case MOp::AluRR:
+          appendf(Out, "%s %s, %s", aluName(I.Alu), regName(I.Dst),
+                  regName(I.Src));
+          break;
+        case MOp::AluRI:
+          appendf(Out, "%s %s, %d", aluName(I.Alu), regName(I.Dst), I.Imm);
+          break;
+        case MOp::ImulRR:
+          appendf(Out, "imul %s, %s", regName(I.Dst), regName(I.Src));
+          break;
+        case MOp::Cdq:
+          Out += "cdq";
+          break;
+        case MOp::Idiv:
+          appendf(Out, "idiv %s", regName(I.Src));
+          break;
+        case MOp::Neg:
+          appendf(Out, "neg %s", regName(I.Dst));
+          break;
+        case MOp::Not:
+          appendf(Out, "not %s", regName(I.Dst));
+          break;
+        case MOp::ShiftRI:
+          appendf(Out, "%s %s, %d", shiftName(I.Shift), regName(I.Dst),
+                  I.Imm);
+          break;
+        case MOp::ShiftRC:
+          appendf(Out, "%s %s, cl", shiftName(I.Shift), regName(I.Dst));
+          break;
+        case MOp::TestRR:
+          appendf(Out, "test %s, %s", regName(I.Dst), regName(I.Src));
+          break;
+        case MOp::Setcc:
+          appendf(Out, "set%s %s(8)", condName(I.CC), regName(I.Dst));
+          break;
+        case MOp::Movzx8:
+          appendf(Out, "movzx %s, %s(8)", regName(I.Dst), regName(I.Src));
+          break;
+        case MOp::Push:
+          appendf(Out, "push %s", regName(I.Src));
+          break;
+        case MOp::PushI:
+          appendf(Out, "push %d", I.Imm);
+          break;
+        case MOp::Pop:
+          appendf(Out, "pop %s", regName(I.Dst));
+          break;
+        case MOp::AdjustSP:
+          appendf(Out, "add esp, %d", I.Imm);
+          break;
+        case MOp::Call:
+          if (I.Target.IsIntrinsic)
+            appendf(Out, "call %s", ir::intrinsicName(I.Target.Intr));
+          else
+            appendf(Out, "call func#%u", I.Target.Func);
+          break;
+        case MOp::Jmp:
+          appendf(Out, "jmp mbb%d", I.Imm);
+          break;
+        case MOp::Jcc:
+          appendf(Out, "j%s mbb%d", condName(I.CC), I.Imm);
+          break;
+        case MOp::Ret:
+          Out += "ret";
+          break;
+        case MOp::Nop:
+          appendf(Out, "nop ; %s", x86::nopInfo(I.NopK).Mnemonic);
+          break;
+        case MOp::ProfInc:
+          appendf(Out, "add dword [counter#%d], 1", I.Imm);
+          break;
+        }
+        Out += '\n';
+      }
+    }
+  }
+  return Out;
+}
+
+std::string mir::verify(const MModule &M) {
+  std::string Problem;
+  for (const MFunction &F : M.Functions) {
+    if (F.Blocks.empty())
+      return F.Name + ": machine function has no blocks";
+    for (uint32_t B = 0; B != F.Blocks.size(); ++B) {
+      const MBasicBlock &BB = F.Blocks[B];
+      bool InBranchGroup = false;
+      bool Ended = false;
+      for (const MInstr &I : BB.Instrs) {
+        if (Ended) {
+          appendf(Problem, "%s: mbb%u: instruction after jmp/ret",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+        if (I.Op == MOp::Jcc) {
+          InBranchGroup = true;
+        } else if (I.Op == MOp::Jmp || I.Op == MOp::Ret) {
+          Ended = true;
+        } else if (InBranchGroup && I.Op != MOp::Nop) {
+          // NOPs may be interleaved with branches by the diversity pass.
+          appendf(Problem, "%s: mbb%u: non-branch after jcc",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+        if ((I.Op == MOp::Jmp || I.Op == MOp::Jcc) &&
+            (I.Imm < 0 || static_cast<size_t>(I.Imm) >= F.Blocks.size())) {
+          appendf(Problem, "%s: mbb%u: branch target out of range",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+        if ((I.Op == MOp::Setcc && x86::regNum(I.Dst) >= 4) ||
+            (I.Op == MOp::Movzx8 && x86::regNum(I.Src) >= 4)) {
+          appendf(Problem, "%s: mbb%u: 8-bit subregister constraint",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+        if (I.Op == MOp::Call && !I.Target.IsIntrinsic &&
+            I.Target.Func >= M.Functions.size()) {
+          appendf(Problem, "%s: mbb%u: call target out of range",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+        if (I.Op == MOp::ProfInc &&
+            (I.Imm < 0 ||
+             static_cast<uint32_t>(I.Imm) >= M.NumProfCounters)) {
+          appendf(Problem, "%s: mbb%u: counter index out of range",
+                  F.Name.c_str(), B);
+          return Problem;
+        }
+      }
+      // The final block may not fall off the end of the function.
+      if (!Ended && B + 1 == F.Blocks.size()) {
+        appendf(Problem, "%s: last block falls through function end",
+                F.Name.c_str());
+        return Problem;
+      }
+    }
+  }
+  return Problem;
+}

@@ -1,0 +1,144 @@
+//===-- lir/MIR.h - Low-level machine IR (IA-32) -----------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The low-level representation ("LR" in the paper's Figure 3). Machine
+/// instructions here correspond one-to-one to IA-32 instructions emitted
+/// by codegen/Emitter -- the property the paper relies on when inserting
+/// NOPs at this stage: "most LR operations in a compiler have a
+/// one-to-one correspondence to the native code instructions in the
+/// object files" (Section 4).
+///
+/// All register operands are physical IA-32 registers: instruction
+/// selection runs after the register planner has decided which IR values
+/// live in callee-saved registers and which in frame slots, so no virtual
+/// registers survive to this level. Three passes operate on MIR before
+/// emission: peephole cleanup, profile instrumentation (profile/), and
+/// the paper's NOP insertion (diversity/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_LIR_MIR_H
+#define PGSD_LIR_MIR_H
+
+#include "ir/IR.h"
+#include "x86/Encoder.h"
+#include "x86/Nops.h"
+#include "x86/X86.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace mir {
+
+/// Machine opcodes. Every non-pseudo opcode encodes to exactly one IA-32
+/// instruction.
+enum class MOp : uint8_t {
+  MovRR,     ///< mov Dst, Src
+  MovRI,     ///< mov Dst, Imm
+  MovGlobal, ///< mov Dst, offset global#Imm (imm32 with relocation)
+  Load,      ///< mov Dst, [Src + Imm]
+  Store,     ///< mov [Dst + Imm], Src
+  LoadFrame, ///< mov Dst, [ebp + Imm]
+  StoreFrame,///< mov [ebp + Imm], Src
+  LeaFrame,  ///< lea Dst, [ebp + Imm]
+  AluRR,     ///< alu Dst, Src (Alu field: add/sub/and/or/xor/cmp)
+  AluRI,     ///< alu Dst, Imm
+  ImulRR,    ///< imul Dst, Src
+  Cdq,       ///< cdq (EAX -> EDX:EAX)
+  Idiv,      ///< idiv Src (EDX:EAX / Src -> EAX rem EDX)
+  Neg,       ///< neg Dst
+  Not,       ///< not Dst
+  ShiftRI,   ///< shift Dst, Imm (Shift field)
+  ShiftRC,   ///< shift Dst, CL
+  TestRR,    ///< test Dst, Src
+  Setcc,     ///< setCC Dst8 (Dst must have an 8-bit subregister)
+  Movzx8,    ///< movzx Dst, Src8
+  Push,      ///< push Src
+  PushI,     ///< push Imm
+  Pop,       ///< pop Dst
+  AdjustSP,  ///< add esp, Imm (argument cleanup)
+  Call,      ///< call Target (direct, rel32)
+  Jmp,       ///< jmp block #Imm
+  Jcc,       ///< jCC block #Imm
+  Ret,       ///< ret (the emitter expands the epilogue before it)
+  Nop,       ///< one NOP from paper Table 1 (NopKind field)
+  ProfInc,   ///< pseudo: add dword [counter #Imm], 1 (edge profiling)
+};
+
+/// Returns a stable mnemonic for \p Op.
+const char *mopName(MOp Op);
+
+/// One machine instruction. Field use depends on MOp (see MOp docs);
+/// unused fields hold defaults.
+struct MInstr {
+  MOp Op = MOp::Nop;
+  x86::Reg Dst = x86::Reg::EAX;
+  x86::Reg Src = x86::Reg::EAX;
+  int32_t Imm = 0; ///< Immediate / frame disp / block id / counter id.
+  x86::AluOp Alu = x86::AluOp::Add;
+  x86::ShiftOp Shift = x86::ShiftOp::Shl;
+  x86::CondCode CC = x86::CondCode::E;
+  x86::NopKind NopK = x86::NopKind::Nop90;
+  ir::Callee Target; ///< For Call.
+};
+
+/// Returns true for Jmp/Jcc/Ret.
+bool isMTerminator(MOp Op);
+
+/// A machine basic block. Control transfers appear only in the trailing
+/// branch group: zero or more Jcc followed by at most one Jmp, or a Ret.
+/// Execution falls through to the next block when no Jmp/Ret is present.
+struct MBasicBlock {
+  std::string Name;
+  std::vector<MInstr> Instrs;
+  uint64_t ProfileCount = 0; ///< Execution count, once profiling ran.
+};
+
+/// A machine function.
+struct MFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t FrameBytes = 0;       ///< Locals + spill area below EBP.
+  /// Lowest (most negative) EBP-relative displacement used by scalar
+  /// value slots; frame *objects* (arrays, reachable through LeaFrame
+  /// pointers) live strictly below this. Lets the peephole prove a
+  /// StoreFrame dead without aliasing concerns.
+  int32_t ValueSlotsLowDisp = 0;
+  bool UsesEbx = false;          ///< Callee-saved registers to preserve.
+  bool UsesEsi = false;
+  bool UsesEdi = false;
+  std::vector<MBasicBlock> Blocks;
+
+  /// Successor block ids of block \p B, in branch order; the fallthrough
+  /// successor (when the block does not end in Jmp/Ret) comes last.
+  std::vector<uint32_t> successors(uint32_t B) const;
+};
+
+/// A machine module: functions plus the global memory image layout.
+struct MModule {
+  std::string Name;
+  std::vector<MFunction> Functions;
+  std::vector<ir::Global> Globals; ///< Copied from the IR module.
+  int EntryFunction = -1;          ///< Index of main.
+  uint32_t NumProfCounters = 0;    ///< Edge counters when instrumented.
+};
+
+/// Renders \p M as text for tests and debugging.
+std::string print(const MModule &M);
+
+/// Structural validity check; empty string when OK. Verifies branch
+/// grouping (control flow only in the trailing branch group), block id
+/// ranges, SETcc/MOVZX subregister constraints, and frame-slot alignment.
+std::string verify(const MModule &M);
+
+} // namespace mir
+} // namespace pgsd
+
+#endif // PGSD_LIR_MIR_H

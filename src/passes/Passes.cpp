@@ -1,0 +1,477 @@
+//===-- passes/Passes.cpp - Mid-level IR optimizations --------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Passes.h"
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+using namespace pgsd;
+using namespace pgsd::ir;
+
+namespace {
+
+/// Wrapping 32-bit arithmetic helpers (the IR has two's-complement
+/// semantics; folding must not trip C++ UB).
+int32_t wrapAdd(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) +
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapSub(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) -
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapMul(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) *
+                              static_cast<uint32_t>(B));
+}
+
+/// Values defined exactly once, by a Const: the propagatable constants of
+/// this register-based (non-SSA) IR.
+std::vector<std::optional<int32_t>> knownConstants(const Function &F) {
+  std::vector<unsigned> DefCount(F.NumValues, 0);
+  std::vector<int32_t> ConstVal(F.NumValues, 0);
+  std::vector<bool> IsConstDef(F.NumValues, false);
+
+  // Parameters are definitions too.
+  for (ValueId V = 0; V != F.NumParams; ++V)
+    ++DefCount[V];
+
+  for (const BasicBlock &BB : F.Blocks) {
+    for (const Instr &I : BB.Instrs) {
+      if (I.Dst == NoValue)
+        continue;
+      ++DefCount[I.Dst];
+      if (I.Op == Opcode::Const) {
+        ConstVal[I.Dst] = static_cast<int32_t>(I.Imm);
+        IsConstDef[I.Dst] = true;
+      } else {
+        IsConstDef[I.Dst] = false;
+      }
+    }
+  }
+
+  std::vector<std::optional<int32_t>> Known(F.NumValues);
+  for (ValueId V = 0; V != F.NumValues; ++V)
+    if (DefCount[V] == 1 && IsConstDef[V])
+      Known[V] = ConstVal[V];
+  return Known;
+}
+
+/// Evaluates a binary opcode over known constants; returns nothing for
+/// operations that would trap (division by zero, INT_MIN / -1).
+std::optional<int32_t> evalBinary(Opcode Op, int32_t A, int32_t B) {
+  switch (Op) {
+  case Opcode::Add:
+    return wrapAdd(A, B);
+  case Opcode::Sub:
+    return wrapSub(A, B);
+  case Opcode::Mul:
+    return wrapMul(A, B);
+  case Opcode::Div:
+    if (B == 0 || (A == INT32_MIN && B == -1))
+      return std::nullopt;
+    return A / B;
+  case Opcode::Rem:
+    if (B == 0 || (A == INT32_MIN && B == -1))
+      return std::nullopt;
+    return A % B;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return static_cast<int32_t>(static_cast<uint32_t>(A) << (B & 31));
+  case Opcode::AShr:
+    return A >> (B & 31); // arithmetic on all sane targets; IA-32 SAR
+  case Opcode::CmpEq:
+    return A == B;
+  case Opcode::CmpNe:
+    return A != B;
+  case Opcode::CmpLt:
+    return A < B;
+  case Opcode::CmpLe:
+    return A <= B;
+  case Opcode::CmpGt:
+    return A > B;
+  case Opcode::CmpGe:
+    return A >= B;
+  default:
+    return std::nullopt;
+  }
+}
+
+bool isBinaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Rewrites \p I into `Dst = const Value`.
+void toConst(Instr &I, int32_t Value) {
+  ValueId Dst = I.Dst;
+  I = Instr();
+  I.Op = Opcode::Const;
+  I.Dst = Dst;
+  I.Imm = Value;
+}
+
+/// Rewrites \p I into `Dst = copy Src`.
+void toCopy(Instr &I, ValueId Src) {
+  ValueId Dst = I.Dst;
+  I = Instr();
+  I.Op = Opcode::Copy;
+  I.Dst = Dst;
+  I.A = Src;
+}
+
+/// Applies identities when exactly one operand is a known constant.
+/// \returns true when \p I was rewritten.
+bool simplifyWithOneConst(Instr &I, std::optional<int32_t> CA,
+                          std::optional<int32_t> CB) {
+  // Commutative operations: normalize so the constant is on the right.
+  ValueId A = I.A;
+  ValueId B = I.B;
+  if (CA && !CB) {
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+      std::swap(A, B);
+      std::swap(CA, CB);
+      break;
+    default:
+      return false;
+    }
+  }
+  if (!CB || CA)
+    return false;
+
+  int32_t K = *CB;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+    if (K == 0) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  case Opcode::Mul:
+    if (K == 0) {
+      toConst(I, 0);
+      return true;
+    }
+    if (K == 1) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  case Opcode::Div:
+    if (K == 1) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  case Opcode::And:
+    if (K == 0) {
+      toConst(I, 0);
+      return true;
+    }
+    if (K == -1) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  case Opcode::Or:
+    if (K == 0) {
+      toCopy(I, A);
+      return true;
+    }
+    if (K == -1) {
+      toConst(I, -1);
+      return true;
+    }
+    return false;
+  case Opcode::Xor:
+    if (K == 0) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  case Opcode::Shl:
+  case Opcode::AShr:
+    if ((K & 31) == 0) {
+      toCopy(I, A);
+      return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool passes::foldConstants(Function &F) {
+  bool Changed = false;
+  bool IterChanged = true;
+  // Each iteration may expose new single-def constants; bound the loop
+  // defensively (it converges long before this in practice).
+  for (unsigned Iter = 0; IterChanged && Iter < 16; ++Iter) {
+    IterChanged = false;
+    auto Known = knownConstants(F);
+    auto Const = [&](ValueId V) -> std::optional<int32_t> {
+      return V == NoValue ? std::nullopt : Known[V];
+    };
+
+    for (BasicBlock &BB : F.Blocks) {
+      for (Instr &I : BB.Instrs) {
+        if (isBinaryOp(I.Op)) {
+          auto CA = Const(I.A);
+          auto CB = Const(I.B);
+          if (CA && CB) {
+            if (auto R = evalBinary(I.Op, *CA, *CB)) {
+              toConst(I, *R);
+              IterChanged = true;
+            }
+            continue;
+          }
+          if (simplifyWithOneConst(I, CA, CB))
+            IterChanged = true;
+          continue;
+        }
+        switch (I.Op) {
+        case Opcode::Copy:
+          if (auto CA = Const(I.A)) {
+            toConst(I, *CA);
+            IterChanged = true;
+          }
+          break;
+        case Opcode::Neg:
+          if (auto CA = Const(I.A)) {
+            toConst(I, wrapSub(0, *CA));
+            IterChanged = true;
+          }
+          break;
+        case Opcode::Not:
+          if (auto CA = Const(I.A)) {
+            toConst(I, ~*CA);
+            IterChanged = true;
+          }
+          break;
+        case Opcode::CondBr:
+          if (auto CA = Const(I.A)) {
+            BlockId Target = *CA != 0 ? I.Succ0 : I.Succ1;
+            I = Instr();
+            I.Op = Opcode::Br;
+            I.Succ0 = Target;
+            IterChanged = true;
+          } else if (I.Succ0 == I.Succ1) {
+            BlockId Target = I.Succ0;
+            I = Instr();
+            I.Op = Opcode::Br;
+            I.Succ0 = Target;
+            IterChanged = true;
+          }
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    Changed |= IterChanged;
+  }
+  return Changed;
+}
+
+bool passes::removeDeadCode(Function &F) {
+  bool Changed = false;
+  bool IterChanged = true;
+  while (IterChanged) {
+    IterChanged = false;
+    // Collect every value that is read anywhere.
+    std::vector<bool> Read(F.NumValues, false);
+    auto MarkRead = [&](ValueId V) {
+      if (V != NoValue)
+        Read[V] = true;
+    };
+    for (const BasicBlock &BB : F.Blocks) {
+      for (const Instr &I : BB.Instrs) {
+        MarkRead(I.A);
+        MarkRead(I.B);
+        for (ValueId Arg : I.Args)
+          MarkRead(Arg);
+      }
+    }
+
+    for (BasicBlock &BB : F.Blocks) {
+      size_t Out = 0;
+      for (size_t In = 0, E = BB.Instrs.size(); In != E; ++In) {
+        Instr &I = BB.Instrs[In];
+        bool HasSideEffects = I.Op == Opcode::Store ||
+                              I.Op == Opcode::Call || isTerminator(I.Op);
+        bool Dead =
+            !HasSideEffects && (I.Dst == NoValue || !Read[I.Dst]);
+        if (Dead) {
+          IterChanged = true;
+          continue;
+        }
+        if (Out != In)
+          BB.Instrs[Out] = std::move(I);
+        ++Out;
+      }
+      BB.Instrs.resize(Out);
+    }
+    Changed |= IterChanged;
+  }
+  return Changed;
+}
+
+bool passes::simplifyCFG(Function &F) {
+  bool Changed = false;
+  bool IterChanged = true;
+  while (IterChanged) {
+    IterChanged = false;
+
+    // 1. Thread edges through blocks that contain nothing but `br T`.
+    auto RetargetAll = [&](BlockId From, BlockId To) {
+      for (BasicBlock &BB : F.Blocks) {
+        Instr &T = BB.Instrs.back();
+        if (T.Op == Opcode::Br && T.Succ0 == From)
+          T.Succ0 = To;
+        if (T.Op == Opcode::CondBr) {
+          if (T.Succ0 == From)
+            T.Succ0 = To;
+          if (T.Succ1 == From)
+            T.Succ1 = To;
+        }
+      }
+    };
+    for (BlockId B = 1, E = static_cast<BlockId>(F.Blocks.size()); B != E;
+         ++B) {
+      BasicBlock &BB = F.Blocks[B];
+      if (BB.Instrs.size() != 1 || BB.Instrs[0].Op != Opcode::Br)
+        continue;
+      BlockId Target = BB.Instrs[0].Succ0;
+      if (Target == B)
+        continue; // infinite self-loop; leave it alone
+      RetargetAll(B, Target);
+      IterChanged = true;
+      // The block becomes unreachable and is removed below.
+    }
+
+    // 2. Merge straight-line chains: B -> S where S has exactly one
+    //    predecessor. (Predecessor counts are recomputed each round.)
+    std::vector<unsigned> PredCount(F.Blocks.size(), 0);
+    for (const BasicBlock &BB : F.Blocks)
+      for (BlockId S : successors(BB))
+        ++PredCount[S];
+    for (BlockId B = 0, E = static_cast<BlockId>(F.Blocks.size()); B != E;
+         ++B) {
+      BasicBlock &BB = F.Blocks[B];
+      Instr &T = BB.Instrs.back();
+      if (T.Op != Opcode::Br)
+        continue;
+      BlockId S = T.Succ0;
+      if (S == B || S == 0 || PredCount[S] != 1)
+        continue;
+      // Splice S into B.
+      BB.Instrs.pop_back();
+      BasicBlock &SB = F.Blocks[S];
+      for (Instr &I : SB.Instrs)
+        BB.Instrs.push_back(std::move(I));
+      // Leave S as an unreachable `br S` husk, swept below.
+      SB.Instrs.clear();
+      Instr Husk;
+      Husk.Op = Opcode::Br;
+      Husk.Succ0 = S;
+      SB.Instrs.push_back(Husk);
+      IterChanged = true;
+    }
+
+    // 3. Drop unreachable blocks and compact indices.
+    std::vector<bool> Reachable(F.Blocks.size(), false);
+    std::vector<BlockId> Work = {0};
+    Reachable[0] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId S : successors(F.Blocks[B]))
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Work.push_back(S);
+        }
+    }
+    bool AnyUnreachable = false;
+    for (bool R : Reachable)
+      if (!R)
+        AnyUnreachable = true;
+    if (AnyUnreachable) {
+      std::vector<BlockId> NewId(F.Blocks.size(), NoBlock);
+      std::vector<BasicBlock> NewBlocks;
+      NewBlocks.reserve(F.Blocks.size());
+      for (BlockId B = 0, E = static_cast<BlockId>(F.Blocks.size()); B != E;
+           ++B) {
+        if (!Reachable[B])
+          continue;
+        NewId[B] = static_cast<BlockId>(NewBlocks.size());
+        NewBlocks.push_back(std::move(F.Blocks[B]));
+      }
+      for (BasicBlock &BB : NewBlocks) {
+        Instr &T = BB.Instrs.back();
+        if (T.Op == Opcode::Br)
+          T.Succ0 = NewId[T.Succ0];
+        if (T.Op == Opcode::CondBr) {
+          T.Succ0 = NewId[T.Succ0];
+          T.Succ1 = NewId[T.Succ1];
+        }
+      }
+      F.Blocks = std::move(NewBlocks);
+      IterChanged = true;
+    }
+
+    Changed |= IterChanged;
+  }
+  return Changed;
+}
+
+void passes::optimize(ir::Module &M) {
+  assert(ir::verify(M).empty() && "module must verify before optimize");
+  for (Function &F : M.Functions) {
+    bool Changed = true;
+    for (unsigned Iter = 0; Changed && Iter < 8; ++Iter) {
+      Changed = false;
+      Changed |= foldConstants(F);
+      Changed |= removeDeadCode(F);
+      Changed |= simplifyCFG(F);
+    }
+  }
+  assert(ir::verify(M).empty() && "optimize broke the module");
+}

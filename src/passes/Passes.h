@@ -1,0 +1,52 @@
+//===-- passes/Passes.h - Mid-level IR optimizations -------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "IR Optimizations" stage of the paper's Figure 3. The evaluation
+/// compiled SPEC at -O2; this pipeline provides the equivalent standard
+/// cleanups for our IR so the backend sees optimized code: constant
+/// folding with algebraic simplification, dead-code elimination, and CFG
+/// simplification (unreachable-block removal, jump threading, block
+/// merging).
+///
+/// Correctness matters more than strength here: the paper's contribution
+/// is measured *after* -O2, and what the NOP pass needs from the mid-end
+/// is a realistic instruction mix and block structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_PASSES_PASSES_H
+#define PGSD_PASSES_PASSES_H
+
+#include "ir/IR.h"
+
+namespace pgsd {
+namespace passes {
+
+/// Folds single-definition constants through arithmetic, applies
+/// algebraic identities (x+0, x*1, x*0, x^0, shifts by 0, ...), and
+/// turns conditional branches on known conditions into direct branches.
+/// \returns true when anything changed.
+bool foldConstants(ir::Function &F);
+
+/// Deletes side-effect-free instructions whose results are never read.
+/// \returns true when anything changed.
+bool removeDeadCode(ir::Function &F);
+
+/// Removes unreachable blocks, threads trivial `br`-only blocks, merges
+/// single-predecessor/single-successor chains, and collapses conditional
+/// branches whose targets coincide. \returns true when anything changed.
+bool simplifyCFG(ir::Function &F);
+
+/// Runs the -O2-style pipeline over every function to a fixpoint
+/// (bounded). The module must verify before and will verify after.
+void optimize(ir::Module &M);
+
+} // namespace passes
+} // namespace pgsd
+
+#endif // PGSD_PASSES_PASSES_H

@@ -1,0 +1,65 @@
+//===-- support/Rng.cpp - Deterministic random numbers -------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+using namespace pgsd;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+  // All-zero state would be a fixed point of xoshiro; SplitMix64 cannot
+  // produce four zero outputs in a row, but assert the invariant anyway.
+  assert((State[0] | State[1] | State[2] | State[3]) != 0 &&
+         "xoshiro state must not be all zero");
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be positive");
+  // Lemire's method: multiply-shift with rejection of the biased region.
+  uint64_t X = next();
+  __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+  uint64_t Low = static_cast<uint64_t>(M);
+  if (Low < Bound) {
+    uint64_t Threshold = -Bound % Bound;
+    while (Low < Threshold) {
+      X = next();
+      M = static_cast<__uint128_t>(X) * Bound;
+      Low = static_cast<uint64_t>(M);
+    }
+  }
+  return static_cast<uint64_t>(M >> 64);
+}
+
+Rng Rng::fork() {
+  return Rng(next());
+}

@@ -1,0 +1,83 @@
+//===-- support/Rng.h - Deterministic random numbers ------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation used by the NOP
+/// insertion pass (paper Algorithm 1) and the variant generator.
+///
+/// The paper's transformation has two sources of randomness: whether to
+/// insert a NOP before an instruction, and which NOP candidate to insert.
+/// Both must be reproducible from a seed so that a "variant" is a pure
+/// function of (program, configuration, seed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SUPPORT_RNG_H
+#define PGSD_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pgsd {
+
+/// xoshiro256** pseudo-random generator seeded through SplitMix64.
+///
+/// Chosen over std::mt19937 for speed, tiny state, and bit-exact behaviour
+/// across standard libraries (variant generation must be stable between
+/// toolchains so that recorded experiments are replayable).
+class Rng {
+public:
+  /// Creates a generator whose whole stream is determined by \p Seed.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed via SplitMix64 so that nearby
+  /// seeds (0, 1, 2, ...) still yield decorrelated streams.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    // 53 high-quality bits -> mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns an integer uniformly distributed in [0, Bound).
+  ///
+  /// Uses Lemire's unbiased multiply-shift rejection method. \p Bound must
+  /// be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns an integer uniformly distributed in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBernoulli(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Derives an independent child generator; used to give each function or
+  /// variant its own stream so insertion decisions in one function do not
+  /// perturb another.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace pgsd
+
+#endif // PGSD_SUPPORT_RNG_H

@@ -1,0 +1,60 @@
+//===-- support/Statistics.cpp - Small numeric helpers -------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pgsd;
+
+double pgsd::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double pgsd::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double pgsd::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  size_t Mid = (Values.size() - 1) / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  return Values[Mid];
+}
+
+uint64_t pgsd::medianCount(std::vector<uint64_t> Values) {
+  if (Values.empty())
+    return 0;
+  size_t Mid = (Values.size() - 1) / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  return Values[Mid];
+}
+
+double pgsd::sampleStdDev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size() - 1));
+}

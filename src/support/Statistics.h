@@ -1,0 +1,43 @@
+//===-- support/Statistics.h - Small numeric helpers ------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics used by the evaluation harnesses: the paper reports averages
+/// over variants, geometric-mean slowdowns (Figure 4's last column), and
+/// median execution counts (the 473.astar discussion in Section 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SUPPORT_STATISTICS_H
+#define PGSD_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pgsd {
+
+/// Arithmetic mean of \p Values; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of \p Values; all entries must be positive.
+/// Figure 4's summary column is the geometric mean of per-benchmark
+/// slowdown *ratios* (1 + overhead), converted back to a percentage by the
+/// caller.
+double geometricMean(const std::vector<double> &Values);
+
+/// Median (lower median for even sizes) of \p Values; 0 for empty input.
+double median(std::vector<double> Values);
+
+/// Median of unsigned 64-bit counts, used for execution-count summaries.
+uint64_t medianCount(std::vector<uint64_t> Values);
+
+/// Sample standard deviation; 0 when fewer than two values are present.
+double sampleStdDev(const std::vector<double> &Values);
+
+} // namespace pgsd
+
+#endif // PGSD_SUPPORT_STATISTICS_H

@@ -1,0 +1,75 @@
+//===-- support/TablePrinter.cpp - Aligned text tables --------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace pgsd;
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::toString() const {
+  // Compute per-column widths.
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  std::string Out;
+  for (size_t RowIdx = 0, NumRows = Rows.size(); RowIdx != NumRows; ++RowIdx) {
+    const auto &Row = Rows[RowIdx];
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Out += Cell;
+      if (I + 1 != E) {
+        Out.append(Widths[I] - Cell.size(), ' ');
+        Out += "  ";
+      }
+    }
+    Out += '\n';
+    // Rule under the header row.
+    if (RowIdx == 0 && NumRows > 1) {
+      size_t Total = 0;
+      for (size_t I = 0, E = Widths.size(); I != E; ++I)
+        Total += Widths[I] + (I + 1 != E ? 2 : 0);
+      Out.append(Total, '-');
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::string Text = toString();
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+}
+
+std::string pgsd::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string pgsd::formatPercent(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Value);
+  return Buf;
+}
+
+std::string pgsd::formatCount(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}

@@ -1,0 +1,56 @@
+//===-- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal column-aligned table writer used by the bench harnesses to
+/// print rows in the same shape as the paper's Figure 4 and Tables 1-3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SUPPORT_TABLEPRINTER_H
+#define PGSD_SUPPORT_TABLEPRINTER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+
+/// Collects rows of string cells and renders them with per-column widths.
+///
+/// The first added row is treated as the header and separated by a rule.
+/// Cells in numeric columns should be pre-formatted by the caller (see the
+/// format helpers below); the printer only aligns.
+class TablePrinter {
+public:
+  /// Appends one row. Rows may have differing lengths; missing cells
+  /// render as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to \p Out (defaults to stdout in callers).
+  void print(std::FILE *Out) const;
+
+  /// Renders the table into a string (used by tests).
+  std::string toString() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats \p Value with \p Decimals fraction digits ("12.34").
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Formats \p Value as a percentage with \p Decimals digits ("12.3%").
+std::string formatPercent(double Value, int Decimals = 1);
+
+/// Formats an unsigned count ("123456").
+std::string formatCount(uint64_t Value);
+
+} // namespace pgsd
+
+#endif // PGSD_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,51 @@
+//===-- workloads/Builders.h - Per-benchmark builders (internal) -*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal: one builder per SPEC-like workload, grouped by size class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_WORKLOADS_BUILDERS_H
+#define PGSD_WORKLOADS_BUILDERS_H
+
+#include "workloads/Workloads.h"
+
+namespace pgsd {
+namespace workloads {
+namespace detail {
+
+// SpecSmall.cpp
+Workload buildLbm();
+Workload buildMcf();
+Workload buildLibquantum();
+Workload buildBzip2();
+Workload buildAstar();
+Workload buildMilc();
+
+// SpecMid.cpp
+Workload buildSjeng();
+Workload buildHmmer();
+Workload buildNamd();
+Workload buildSphinx3();
+Workload buildH264ref();
+Workload buildSoplex();
+
+// SpecLarge.cpp
+Workload buildDealII();
+Workload buildPovray();
+Workload buildPerlbench();
+Workload buildGobmk();
+Workload buildOmnetpp();
+Workload buildGcc();
+Workload buildXalancbmk();
+
+} // namespace detail
+} // namespace workloads
+} // namespace pgsd
+
+#endif // PGSD_WORKLOADS_BUILDERS_H

@@ -1,0 +1,621 @@
+//===-- workloads/Php.cpp - PHP-like interpreter case study ----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The Section 5.2 case study target: PHP 5.3.16, "a popular
+// network-facing application". Model: a bytecode interpreter written in
+// MiniC (stack VM with variables, an array heap, and a call stack) whose
+// input stream carries the script to execute -- so, like PHP, its hot
+// paths depend on which script profile it was trained on. The seven
+// profiling scripts mirror the Computer Language Benchmarks Game set the
+// paper used.
+//
+// Like real binaries, the interpreter contains *unintended* gadget
+// material: large immediate constants whose little-endian bytes decode
+// to `pop r32; ret` and `mov [ebx], eax; ret` sequences (exactly the
+// kind of misaligned-decoding gadget the ROP literature exploits on
+// x86). The undiversified build is therefore attackable; diversification
+// displaces these immediates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace pgsd;
+using namespace pgsd::workloads;
+
+Workload workloads::phpInterpreter() {
+  Workload W;
+  W.Name = "php-5.3-like";
+  W.Source = std::string(R"(
+global code[4096];
+global slots[128];
+global heap[65536];
+global vstack[1024];
+global cstack[256];
+
+// Opcode map (two words per instruction: op, arg):
+//  0 HALT        1 PUSH imm    2 LOAD slot   3 STORE slot  4 ADD
+//  5 SUB         6 MUL         7 DIV         8 MOD         9 LT
+// 10 EQ         11 JZ addr    12 JMP addr   13 PRINT      14 ALOAD
+// 15 ASTORE     16 DUP        17 XOR        18 SHL        19 SHR
+// 20 CALL addr  21 RET        22 SWAP       23 GT
+fn vm_run(fuel) {
+  var pc = 0;
+  var sp = 0;
+  var cp = 0;
+  // Unintended-gadget immediates (see file comment): these constants
+  // exist to model data-in-code byte patterns; they also whiten the
+  // VM's hash so scripts observe them.
+  var h = 0 - 1027385157; // 0xC2C358BB: contains "pop eax; ret"
+  while (fuel > 0) {
+    fuel = fuel - 1;
+    var op = code[pc];
+    var arg = code[pc + 1];
+    pc = pc + 2;
+    if (op == 0) { break; }
+    else if (op == 1) { vstack[sp] = arg; sp = sp + 1; }
+    else if (op == 2) { vstack[sp] = slots[arg]; sp = sp + 1; }
+    else if (op == 3) { sp = sp - 1; slots[arg] = vstack[sp]; }
+    else if (op == 4) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] + vstack[sp]; }
+    else if (op == 5) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] - vstack[sp]; }
+    else if (op == 6) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] * vstack[sp]; }
+    else if (op == 7) {
+      sp = sp - 1;
+      if (vstack[sp] == 0) { vstack[sp - 1] = 0; }
+      else { vstack[sp - 1] = vstack[sp - 1] / vstack[sp]; }
+    }
+    else if (op == 8) {
+      sp = sp - 1;
+      if (vstack[sp] == 0) { vstack[sp - 1] = 0; }
+      else { vstack[sp - 1] = vstack[sp - 1] % vstack[sp]; }
+    }
+    else if (op == 9) {
+      sp = sp - 1;
+      if (vstack[sp - 1] < vstack[sp]) { vstack[sp - 1] = 1; }
+      else { vstack[sp - 1] = 0; }
+    }
+    else if (op == 10) {
+      sp = sp - 1;
+      if (vstack[sp - 1] == vstack[sp]) { vstack[sp - 1] = 1; }
+      else { vstack[sp - 1] = 0; }
+    }
+    else if (op == 11) { sp = sp - 1; if (vstack[sp] == 0) { pc = arg; } }
+    else if (op == 12) { pc = arg; }
+    else if (op == 13) { sp = sp - 1; print_int(vstack[sp]); }
+    else if (op == 14) { vstack[sp - 1] = heap[vstack[sp - 1] & 65535]; }
+    else if (op == 15) {
+      sp = sp - 2;
+      heap[vstack[sp] & 65535] = vstack[sp + 1];
+    }
+    else if (op == 16) { vstack[sp] = vstack[sp - 1]; sp = sp + 1; }
+    else if (op == 17) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] ^ vstack[sp]; }
+    else if (op == 18) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] << (vstack[sp] & 31); }
+    else if (op == 19) { sp = sp - 1; vstack[sp - 1] = vstack[sp - 1] >> (vstack[sp] & 31); }
+    else if (op == 20) { cstack[cp] = pc; cp = cp + 1; pc = arg; }
+    else if (op == 21) {
+      if (cp == 0) { break; }
+      cp = cp - 1;
+      pc = cstack[cp];
+    }
+    else if (op == 22) {
+      var t = vstack[sp - 1];
+      vstack[sp - 1] = vstack[sp - 2];
+      vstack[sp - 2] = t;
+    }
+    else if (op == 23) {
+      sp = sp - 1;
+      if (vstack[sp - 1] > vstack[sp]) { vstack[sp - 1] = 1; }
+      else { vstack[sp - 1] = 0; }
+    }
+    else {
+      h = h ^ (0 - 1027384901); // 0xC2C359BB: contains "pop ecx; ret"
+      break;
+    }
+  }
+  return h ^ sp;
+}
+
+fn zend_startup(marker) {
+  // Engine-initialization stand-in; more unintended-gadget immediates.
+  var sig = 0 - 1027384645;      // 0xC2C35ABB: "pop edx; ret"
+  sig = sig ^ (0 - 1027384389);  // 0xC2C35BBB: "pop ebx; ret"
+  sig = sig + (0 - 1023178377);  // 0xC3038977: "mov [ebx], eax; ret"
+  var i = 0;
+  while (i < 128) {
+    slots[i] = 0;
+    i = i + 1;
+  }
+  return sig ^ marker;
+}
+
+fn main() {
+  var codelen = read_int();
+  if (codelen <= 0 || codelen > 4095) { return 1; }
+  var i = 0;
+  while (i < codelen) {
+    code[i] = read_int();
+    i = i + 1;
+  }
+  // Remaining input words become the script's arguments in slots 100+.
+  var nargs = input_len();
+  if (nargs > 20) { nargs = 20; }
+  i = 0;
+  while (i < nargs) {
+    slots[100 + i] = read_int();
+    i = i + 1;
+  }
+  var sig = zend_startup(codelen);
+  var h = vm_run(200000000);
+  sink(sig);
+  sink(h);
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 140, 0x5030001);
+  // Placeholder inputs; real runs append a script from clbgScripts().
+  W.TrainInput = {};
+  W.RefInput = {};
+  return W;
+}
+
+namespace {
+
+/// Tiny assembler for the VM above.
+class Asm {
+public:
+  enum Op {
+    HALT = 0,
+    PUSH = 1,
+    LOAD = 2,
+    STORE = 3,
+    ADD = 4,
+    SUB = 5,
+    MUL = 6,
+    DIV = 7,
+    MOD = 8,
+    LT = 9,
+    EQ = 10,
+    JZ = 11,
+    JMP = 12,
+    PRINT = 13,
+    ALOAD = 14,
+    ASTORE = 15,
+    DUP = 16,
+    XOR = 17,
+    SHL = 18,
+    SHR = 19,
+    CALL = 20,
+    RET = 21,
+    SWAP = 22,
+    GT = 23,
+  };
+
+  /// Emits one instruction; returns the address of its arg word's
+  /// instruction (for branch patching).
+  size_t emit(Op O, int32_t Arg = 0) {
+    size_t At = Code.size();
+    Code.push_back(O);
+    Code.push_back(Arg);
+    return At;
+  }
+
+  /// Current instruction address (branch target).
+  int32_t here() const { return static_cast<int32_t>(Code.size()); }
+
+  /// Patches the argument of the instruction emitted at \p At.
+  void patch(size_t At, int32_t Target) { Code[At + 1] = Target; }
+
+  /// Builds the full VM input: [codelen, code..., args...].
+  std::vector<int32_t> finish(std::vector<int32_t> Args) {
+    std::vector<int32_t> Input;
+    Input.push_back(static_cast<int32_t>(Code.size()));
+    Input.insert(Input.end(), Code.begin(), Code.end());
+    Input.insert(Input.end(), Args.begin(), Args.end());
+    return Input;
+  }
+
+private:
+  std::vector<int32_t> Code;
+};
+
+/// Shared loop skeleton: for (slot I = Init; I < Limit-slot; I += 1).
+struct CountedLoop {
+  size_t JzAt = 0;
+  int32_t HeadAt = 0;
+  int SlotI;
+  int SlotLimit;
+};
+
+CountedLoop loopBegin(Asm &A, int SlotI, int32_t Init, int SlotLimit) {
+  A.emit(Asm::PUSH, Init);
+  A.emit(Asm::STORE, SlotI);
+  CountedLoop L;
+  L.SlotI = SlotI;
+  L.SlotLimit = SlotLimit;
+  L.HeadAt = A.here();
+  A.emit(Asm::LOAD, SlotI);
+  A.emit(Asm::LOAD, SlotLimit);
+  A.emit(Asm::LT);
+  L.JzAt = A.emit(Asm::JZ, 0);
+  return L;
+}
+
+void loopEnd(Asm &A, const CountedLoop &L) {
+  A.emit(Asm::LOAD, L.SlotI);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, L.SlotI);
+  A.emit(Asm::JMP, L.HeadAt);
+  A.patch(L.JzAt, A.here());
+}
+
+// --- the seven CLBG-style scripts ------------------------------------
+
+// binarytrees: allocate implicit trees in the heap pool and checksum
+// them with a recursive walk (stresses CALL/RET and the heap).
+std::vector<int32_t> scriptBinarytrees() {
+  Asm A;
+  // Node i children at 2i+1 / 2i+2; value at heap[i].
+  // slot 0 = n (pool size), slot 1 = i, slot 2 = acc, slot 100 = arg n.
+  size_t SkipFn = A.emit(Asm::JMP, 0);
+  // walk(node on stack) -> replaces with subtree sum, iterative depth 3:
+  int32_t FnWalk = A.here();
+  A.emit(Asm::DUP);
+  A.emit(Asm::ALOAD); // value
+  A.emit(Asm::SWAP);
+  A.emit(Asm::PUSH, 2);
+  A.emit(Asm::MUL);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::ALOAD); // left child value
+  A.emit(Asm::ADD);
+  A.emit(Asm::RET);
+  A.patch(SkipFn, A.here());
+
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  // fill pool: heap[i] = i * 31 (build)
+  CountedLoop Fill = loopBegin(A, 1, 0, 0);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::PUSH, 31);
+  A.emit(Asm::MUL);
+  A.emit(Asm::ASTORE);
+  loopEnd(A, Fill);
+  // checksum with calls
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 2);
+  CountedLoop Walk = loopBegin(A, 1, 0, 0);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::CALL, FnWalk);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, 2);
+  loopEnd(A, Walk);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({9000});
+}
+
+// fannkuchredux: repeated prefix reversals of a permutation in the heap.
+std::vector<int32_t> scriptFannkuch() {
+  Asm A;
+  // slot 0 = n, slot 1 = i, slot 2 = flips, slot 3 = k, slot 4 = lo,
+  // slot 5 = hi, slot 6 = rounds.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  A.emit(Asm::LOAD, 101);
+  A.emit(Asm::STORE, 6);
+  CountedLoop Init = loopBegin(A, 1, 0, 0);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::ASTORE); // heap[i] = i
+  loopEnd(A, Init);
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 2);
+  CountedLoop Rounds = loopBegin(A, 3, 0, 6);
+  {
+    // reverse prefix [0, n): lo = 0; hi = n-1; while lo < hi swap.
+    A.emit(Asm::PUSH, 0);
+    A.emit(Asm::STORE, 4);
+    A.emit(Asm::LOAD, 0);
+    A.emit(Asm::PUSH, 1);
+    A.emit(Asm::SUB);
+    A.emit(Asm::STORE, 5);
+    int32_t SwapHead = A.here();
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::LOAD, 5);
+    A.emit(Asm::LT);
+    size_t SwapDone = A.emit(Asm::JZ, 0);
+    // tmp = heap[lo]; heap[lo] = heap[hi] + k; heap[hi] = tmp;
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::ALOAD);
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::LOAD, 5);
+    A.emit(Asm::ALOAD);
+    A.emit(Asm::LOAD, 3);
+    A.emit(Asm::ADD);
+    A.emit(Asm::ASTORE);
+    A.emit(Asm::LOAD, 5);
+    A.emit(Asm::SWAP);
+    A.emit(Asm::ASTORE);
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::PUSH, 1);
+    A.emit(Asm::ADD);
+    A.emit(Asm::STORE, 4);
+    A.emit(Asm::LOAD, 5);
+    A.emit(Asm::PUSH, 1);
+    A.emit(Asm::SUB);
+    A.emit(Asm::STORE, 5);
+    A.emit(Asm::JMP, SwapHead);
+    A.patch(SwapDone, A.here());
+    // flips += heap[0]
+    A.emit(Asm::PUSH, 0);
+    A.emit(Asm::ALOAD);
+    A.emit(Asm::LOAD, 2);
+    A.emit(Asm::ADD);
+    A.emit(Asm::STORE, 2);
+  }
+  loopEnd(A, Rounds);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({400, 1200});
+}
+
+// mandelbrot: fixed-point escape iteration over a grid (mul-heavy).
+std::vector<int32_t> scriptMandelbrot() {
+  Asm A;
+  // slot 0 = size, 1 = y, 2 = x, 3 = zr, 4 = zi, 5 = iter, 6 = count,
+  // 7 = zr2 temp.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 6);
+  CountedLoop Y = loopBegin(A, 1, 0, 0);
+  CountedLoop X = loopBegin(A, 2, 0, 0);
+  {
+    A.emit(Asm::PUSH, 0);
+    A.emit(Asm::STORE, 3);
+    A.emit(Asm::PUSH, 0);
+    A.emit(Asm::STORE, 4);
+    // 24 iterations of z = z^2 + c in 8.8 fixed point
+    CountedLoop It = loopBegin(A, 5, 0, 101); // slot 101 = max iters
+    // zr2 = (zr*zr - zi*zi) >> 8 + (x - 384)
+    A.emit(Asm::LOAD, 3);
+    A.emit(Asm::LOAD, 3);
+    A.emit(Asm::MUL);
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::MUL);
+    A.emit(Asm::SUB);
+    A.emit(Asm::PUSH, 8);
+    A.emit(Asm::SHR);
+    A.emit(Asm::LOAD, 2);
+    A.emit(Asm::PUSH, 384);
+    A.emit(Asm::SUB);
+    A.emit(Asm::ADD);
+    A.emit(Asm::STORE, 7);
+    // zi = (2*zr*zi) >> 8 + (y - 256)
+    A.emit(Asm::LOAD, 3);
+    A.emit(Asm::LOAD, 4);
+    A.emit(Asm::MUL);
+    A.emit(Asm::PUSH, 7);
+    A.emit(Asm::SHR);
+    A.emit(Asm::LOAD, 1);
+    A.emit(Asm::PUSH, 256);
+    A.emit(Asm::SUB);
+    A.emit(Asm::ADD);
+    A.emit(Asm::STORE, 4);
+    A.emit(Asm::LOAD, 7);
+    A.emit(Asm::STORE, 3);
+    loopEnd(A, It);
+    // count += (zr & 1)
+    A.emit(Asm::LOAD, 3);
+    A.emit(Asm::PUSH, 1);
+    A.emit(Asm::XOR);
+    A.emit(Asm::LOAD, 6);
+    A.emit(Asm::ADD);
+    A.emit(Asm::STORE, 6);
+  }
+  loopEnd(A, X);
+  loopEnd(A, Y);
+  A.emit(Asm::LOAD, 6);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({80, 24});
+}
+
+// nbody: three bodies in slots, velocity/position updates (slot-heavy).
+std::vector<int32_t> scriptNbody() {
+  Asm A;
+  // slots 10..15: px/py per body (3 bodies), 20..25 velocities,
+  // slot 0 = steps, slot 1 = t.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  for (int B = 0; B != 3; ++B) {
+    A.emit(Asm::PUSH, 1000 + 700 * B);
+    A.emit(Asm::STORE, 10 + 2 * B);
+    A.emit(Asm::PUSH, 2000 - 900 * B);
+    A.emit(Asm::STORE, 11 + 2 * B);
+    A.emit(Asm::PUSH, 3 - B);
+    A.emit(Asm::STORE, 20 + 2 * B);
+    A.emit(Asm::PUSH, B - 1);
+    A.emit(Asm::STORE, 21 + 2 * B);
+  }
+  CountedLoop T = loopBegin(A, 1, 0, 0);
+  for (int B = 0; B != 3; ++B) {
+    int O = (B + 1) % 3;
+    // v += (other_pos - pos) >> 6 ; pos += v >> 4 (per axis)
+    for (int Axis = 0; Axis != 2; ++Axis) {
+      int P = 10 + 2 * B + Axis;
+      int V = 20 + 2 * B + Axis;
+      int Q = 10 + 2 * O + Axis;
+      A.emit(Asm::LOAD, Q);
+      A.emit(Asm::LOAD, P);
+      A.emit(Asm::SUB);
+      A.emit(Asm::PUSH, 6);
+      A.emit(Asm::SHR);
+      A.emit(Asm::LOAD, V);
+      A.emit(Asm::ADD);
+      A.emit(Asm::STORE, V);
+      A.emit(Asm::LOAD, V);
+      A.emit(Asm::PUSH, 4);
+      A.emit(Asm::SHR);
+      A.emit(Asm::LOAD, P);
+      A.emit(Asm::ADD);
+      A.emit(Asm::STORE, P);
+    }
+  }
+  loopEnd(A, T);
+  A.emit(Asm::LOAD, 10);
+  A.emit(Asm::LOAD, 21);
+  A.emit(Asm::XOR);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({40000});
+}
+
+// pidigits: spigot-style digit extraction (div/mod heavy).
+std::vector<int32_t> scriptPidigits() {
+  Asm A;
+  // slot 0 = digits, 1 = i, 2 = acc, 3 = den, 4 = out.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::STORE, 2);
+  A.emit(Asm::PUSH, 3);
+  A.emit(Asm::STORE, 3);
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 4);
+  CountedLoop I = loopBegin(A, 1, 0, 0);
+  // acc = (acc * 10 + i) % den ; den = den*2+1 capped; out += acc / 3
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::PUSH, 10);
+  A.emit(Asm::MUL);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::MOD);
+  A.emit(Asm::STORE, 2);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::PUSH, 2);
+  A.emit(Asm::MUL);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::PUSH, 100003);
+  A.emit(Asm::MOD);
+  A.emit(Asm::PUSH, 3);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, 3);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::PUSH, 3);
+  A.emit(Asm::DIV);
+  A.emit(Asm::LOAD, 4);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, 4);
+  loopEnd(A, I);
+  A.emit(Asm::LOAD, 4);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({120000});
+}
+
+// spectralnorm: sum over A(i,j) = K / ((i+j)(i+j+1)/2 + i + 1).
+std::vector<int32_t> scriptSpectralnorm() {
+  Asm A;
+  // slot 0 = n, 1 = i, 2 = j, 3 = sum.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 3);
+  CountedLoop I = loopBegin(A, 1, 0, 0);
+  CountedLoop J = loopBegin(A, 2, 0, 0);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::ADD);
+  A.emit(Asm::DUP);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::MUL);
+  A.emit(Asm::PUSH, 2);
+  A.emit(Asm::DIV);
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::PUSH, 1);
+  A.emit(Asm::ADD);
+  A.emit(Asm::PUSH, 1000000);
+  A.emit(Asm::SWAP);
+  A.emit(Asm::DIV);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, 3);
+  loopEnd(A, J);
+  loopEnd(A, I);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({450});
+}
+
+// fasta: pseudo-random sequence generation into the heap (cheap ALU).
+std::vector<int32_t> scriptFasta() {
+  Asm A;
+  // slot 0 = n, 1 = i, 2 = seed, 3 = acc.
+  A.emit(Asm::LOAD, 100);
+  A.emit(Asm::STORE, 0);
+  A.emit(Asm::PUSH, 42);
+  A.emit(Asm::STORE, 2);
+  A.emit(Asm::PUSH, 0);
+  A.emit(Asm::STORE, 3);
+  CountedLoop I = loopBegin(A, 1, 0, 0);
+  // seed = (seed * 3877 + 29573) % 139968
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::PUSH, 3877);
+  A.emit(Asm::MUL);
+  A.emit(Asm::PUSH, 29573);
+  A.emit(Asm::ADD);
+  A.emit(Asm::PUSH, 139968);
+  A.emit(Asm::MOD);
+  A.emit(Asm::STORE, 2);
+  // heap[i & 8191] = seed; acc ^= seed
+  A.emit(Asm::LOAD, 1);
+  A.emit(Asm::PUSH, 8191);
+  A.emit(Asm::XOR); // cheap index mix (keeps ALU profile)
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::ASTORE);
+  A.emit(Asm::LOAD, 2);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::ADD);
+  A.emit(Asm::STORE, 3);
+  loopEnd(A, I);
+  A.emit(Asm::LOAD, 3);
+  A.emit(Asm::PRINT);
+  A.emit(Asm::HALT);
+  return A.finish({200000});
+}
+
+} // namespace
+
+const std::vector<PhpScript> &workloads::clbgScripts() {
+  static const std::vector<PhpScript> Scripts = [] {
+    std::vector<PhpScript> S;
+    S.push_back({"binarytrees", scriptBinarytrees()});
+    S.push_back({"fannkuchredux", scriptFannkuch()});
+    S.push_back({"mandelbrot", scriptMandelbrot()});
+    S.push_back({"nbody", scriptNbody()});
+    S.push_back({"pidigits", scriptPidigits()});
+    S.push_back({"spectralnorm", scriptSpectralnorm()});
+    S.push_back({"fasta", scriptFasta()});
+    for ([[maybe_unused]] const PhpScript &Script : S)
+      assert(!Script.Input.empty() && "script must carry code");
+    return S;
+  }();
+  return Scripts;
+}

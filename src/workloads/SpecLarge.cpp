@@ -1,0 +1,602 @@
+//===-- workloads/SpecLarge.cpp - Large SPEC-like workloads ----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Large benchmarks: dealII, povray, perlbench, gobmk, omnetpp, gcc,
+// xalancbmk. These carry substantial cold libraries: in the SPEC
+// originals most of the code is cold (gcc, xalancbmk), which is exactly
+// the code profile-guided insertion is free to diversify heavily.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+using namespace pgsd;
+using namespace pgsd::workloads;
+
+// 447.dealII: finite elements. Dynamic signature: per-element assembly
+// of small dense blocks into a global system, then smoother sweeps.
+Workload detail::buildDealII() {
+  Workload W;
+  W.Name = "447.dealII";
+  W.Source = std::string(R"(
+global mat[65536];
+global rhs[4096];
+global sol[4096];
+
+fn assemble(elems) {
+  var e = 0;
+  while (e < elems) {
+    var base = (e * 67) & 4031;
+    var i = 0;
+    while (i < 4) {
+      var j = 0;
+      while (j < 4) {
+        var contrib = (i + 1) * (j + 2) + ((e * 2654435761) >> 20);
+        var idx = ((base + i) << 4) + j;
+        mat[idx & 65535] = mat[idx & 65535] + contrib;
+        j = j + 1;
+      }
+      rhs[(base + i) & 4095] = rhs[(base + i) & 4095] + e + i;
+      i = i + 1;
+    }
+    e = e + 1;
+  }
+  return 0;
+}
+
+fn smooth_sweep(n) {
+  var i = 1;
+  while (i < n - 1) {
+    var diag = mat[(i << 4) & 65535];
+    if (diag == 0) { diag = 1; }
+    sol[i] = (rhs[i] + sol[i - 1] + sol[i + 1]) / diag;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn residual(n) {
+  var r = 0;
+  var i = 0;
+  while (i < n) {
+    r = r ^ (sol[i] * 3 + rhs[i]);
+    i = i + 1;
+  }
+  return r;
+}
+
+fn main() {
+  var elems = read_int();
+  var sweeps = read_int();
+  assemble(elems);
+  var s = 0;
+  while (s < sweeps) {
+    smooth_sweep(4096);
+    s = s + 1;
+  }
+  var r = residual(4096);
+  print_int(r);
+  sink(lib_dispatch(r & 15, r));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 60, 0x4470001);
+  W.TrainInput = {4000, 6};
+  W.RefInput = {20000, 25};
+  return W;
+}
+
+// 453.povray: ray tracing. Dynamic signature: per-pixel ray-sphere
+// intersection in fixed point with an integer-sqrt Newton loop --
+// multiply/divide heavy with a moderately hot shading path.
+Workload detail::buildPovray() {
+  Workload W;
+  W.Name = "453.povray";
+  W.Source = std::string(R"(
+global spherex[64];
+global spherey[64];
+global spherer[64];
+global imagebuf[65536];
+
+fn isqrt(v) {
+  if (v <= 0) { return 0; }
+  var g = v;
+  if (g > 46340) { g = 46340; }
+  var k = 0;
+  while (k < 12) {
+    var ng = (g + v / g) / 2;
+    if (ng == g) { break; }
+    g = ng;
+    k = k + 1;
+  }
+  return g;
+}
+
+fn trace_ray(px, py, nspheres) {
+  var best = 999999999;
+  var hit = 0 - 1;
+  var s = 0;
+  while (s < nspheres) {
+    var dx = px - spherex[s];
+    var dy = py - spherey[s];
+    var d2 = dx * dx + dy * dy;
+    var r = spherer[s];
+    if (d2 < r * r) {
+      var depth = isqrt(d2);
+      if (depth < best) {
+        best = depth;
+        hit = s;
+      }
+    }
+    s = s + 1;
+  }
+  if (hit < 0) { return 0; }
+  // Shade: distance falloff plus a stripe pattern.
+  var shade = 255 - (best * 255) / (spherer[hit] + 1);
+  if (((px ^ py) & 8) != 0) { shade = (shade * 3) / 4; }
+  return shade + hit * 7;
+}
+
+fn main() {
+  var width = read_int();
+  var height = read_int();
+  var nspheres = read_int();
+  var x = 17;
+  var s = 0;
+  while (s < nspheres) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    spherex[s] = x & 255;
+    x = (x * 1103515245 + 12345) & 1073741823;
+    spherey[s] = x & 255;
+    spherer[s] = (x >> 20) & 63;
+    if (spherer[s] < 8) { spherer[s] = 8; }
+    s = s + 1;
+  }
+  var sum = 0;
+  var py = 0;
+  while (py < height) {
+    var px = 0;
+    while (px < width) {
+      var c = trace_ray(px & 255, py & 255, nspheres);
+      imagebuf[(py * width + px) & 65535] = c;
+      sum = sum + c;
+      px = px + 1;
+    }
+    py = py + 1;
+  }
+  print_int(sum);
+  sink(lib_dispatch(sum & 15, sum));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 85, 0x4530001);
+  W.TrainInput = {64, 64, 12};
+  W.RefInput = {112, 112, 24};
+  return W;
+}
+
+// 400.perlbench: the Perl interpreter. Dynamic signature: a bytecode
+// dispatch loop of cheap compares and jumps -- the classic interpreter
+// profile where naive NOP insertion hurts most (paper: the highest
+// per-benchmark overhead alongside sphinx3).
+Workload detail::buildPerlbench() {
+  Workload W;
+  W.Name = "400.perlbench";
+  W.Source = std::string(R"(
+global code[512];
+global slots[64];
+global stack[256];
+
+// Opcodes: 0 halt, 1 push imm, 2 load slot, 3 store slot, 4 add, 5 sub,
+// 6 mul, 7 less-than, 8 jz target, 9 jmp target, 10 dup, 11 xor.
+fn run_program(entry, fuel) {
+  var pc = entry;
+  var sp = 0;
+  while (fuel > 0) {
+    fuel = fuel - 1;
+    var op = code[pc];
+    var arg = code[pc + 1];
+    pc = pc + 2;
+    if (op == 0) { break; }
+    else if (op == 1) { stack[sp] = arg; sp = sp + 1; }
+    else if (op == 2) { stack[sp] = slots[arg]; sp = sp + 1; }
+    else if (op == 3) { sp = sp - 1; slots[arg] = stack[sp]; }
+    else if (op == 4) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+    else if (op == 5) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] - stack[sp]; }
+    else if (op == 6) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; }
+    else if (op == 7) {
+      sp = sp - 1;
+      if (stack[sp - 1] < stack[sp]) { stack[sp - 1] = 1; }
+      else { stack[sp - 1] = 0; }
+    }
+    else if (op == 8) { sp = sp - 1; if (stack[sp] == 0) { pc = arg; } }
+    else if (op == 9) { pc = arg; }
+    else if (op == 10) { stack[sp] = stack[sp - 1]; sp = sp + 1; }
+    else { sp = sp - 1; stack[sp - 1] = stack[sp - 1] ^ stack[sp]; }
+  }
+  return slots[0];
+}
+
+// Encodes: slot1 = n; slot0 = 0; while (slot1 != 0) { slot0 += slot1*slot1;
+// slot1 -= 1 } -- a numeric Perl-style loop.
+fn emit_sumsq(at) {
+  code[at + 0] = 2;  code[at + 1] = 1;   // load n
+  code[at + 2] = 8;  code[at + 3] = at + 26; // jz end
+  code[at + 4] = 2;  code[at + 5] = 0;   // load acc
+  code[at + 6] = 2;  code[at + 7] = 1;
+  code[at + 8] = 10; code[at + 9] = 0;   // dup
+  code[at + 10] = 6; code[at + 11] = 0;  // mul
+  code[at + 12] = 4; code[at + 13] = 0;  // add
+  code[at + 14] = 3; code[at + 15] = 0;  // store acc
+  code[at + 16] = 2; code[at + 17] = 1;
+  code[at + 18] = 1; code[at + 19] = 1;
+  code[at + 20] = 5; code[at + 21] = 0;  // sub
+  code[at + 22] = 3; code[at + 23] = 1;  // store n
+  code[at + 24] = 9; code[at + 25] = at; // loop
+  code[at + 26] = 0; code[at + 27] = 0;  // halt
+  return 0;
+}
+
+fn main() {
+  var n = read_int();
+  var reps = read_int();
+  emit_sumsq(0);
+  var total = 0;
+  var r = 0;
+  while (r < reps) {
+    slots[0] = 0;
+    slots[1] = n;
+    total = total ^ run_program(0, 99999999);
+    r = r + 1;
+  }
+  print_int(total);
+  sink(lib_dispatch(total & 15, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 75, 0x4000001);
+  W.TrainInput = {1200, 4};
+  W.RefInput = {2500, 6};
+  return W;
+}
+
+// 445.gobmk: the game of Go. Dynamic signature: whole-board pattern
+// scans plus recursive flood fill for liberties -- branchy code with
+// medium-depth recursion over a 19x19 board.
+Workload detail::buildGobmk() {
+  Workload W;
+  W.Name = "445.gobmk";
+  W.Source = std::string(R"(
+global board[441];
+global marks[441];
+global influence[441];
+
+fn flood_liberties(pos, color, size) {
+  if (pos < 0) { return 0; }
+  if (pos >= size * size) { return 0; }
+  if (marks[pos] != 0) { return 0; }
+  marks[pos] = 1;
+  var v = board[pos];
+  if (v == 0) { return 1; }
+  if (v != color) { return 0; }
+  var libs = 0;
+  libs = libs + flood_liberties(pos - 1, color, size);
+  libs = libs + flood_liberties(pos + 1, color, size);
+  libs = libs + flood_liberties(pos - size, color, size);
+  libs = libs + flood_liberties(pos + size, color, size);
+  return libs;
+}
+
+fn spread_influence(size) {
+  var i = 0;
+  while (i < size * size) {
+    var v = board[i];
+    if (v != 0) {
+      var dir = 0 - 2;
+      while (dir <= 2) {
+        var j = i + dir;
+        if (j >= 0 && j < size * size) {
+          if (v == 1) { influence[j] = influence[j] + 4 - dir * dir; }
+          else { influence[j] = influence[j] - 4 + dir * dir; }
+        }
+        dir = dir + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn eval_position(size) {
+  var score = 0;
+  var i = 0;
+  while (i < size * size) {
+    var k = 0;
+    while (k < size * size) { marks[k] = 0; k = k + 1; }
+    if (board[i] != 0) {
+      score = score + flood_liberties(i, board[i], size);
+    }
+    i = i + 1;
+  }
+  return score;
+}
+
+fn main() {
+  var size = read_int();
+  var moves = read_int();
+  var x = 99;
+  var total = 0;
+  var m = 0;
+  while (m < moves) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    var pos = x - (x / (size * size)) * (size * size);
+    board[pos] = (m & 1) + 1;
+    spread_influence(size);
+    total = total ^ eval_position(size);
+    m = m + 1;
+  }
+  var i = 0;
+  while (i < size * size) {
+    total = total + influence[i];
+    i = i + 1;
+  }
+  print_int(total);
+  sink(lib_dispatch(total & 15, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 100, 0x4450001);
+  W.TrainInput = {9, 24};
+  W.RefInput = {13, 40};
+  return W;
+}
+
+// 471.omnetpp: discrete event simulation. Dynamic signature: a binary
+// heap event queue -- push/pop churn where each event schedules followers.
+Workload detail::buildOmnetpp() {
+  Workload W;
+  W.Name = "471.omnetpp";
+  W.Source = std::string(R"(
+global heapt[65536];
+global heapd[65536];
+global nodestate[256];
+
+fn heap_push(n, t, d) {
+  var i = n;
+  heapt[i] = t;
+  heapd[i] = d;
+  while (i > 0) {
+    var parent = (i - 1) / 2;
+    if (heapt[parent] <= heapt[i]) { break; }
+    var tt = heapt[parent]; heapt[parent] = heapt[i]; heapt[i] = tt;
+    var dd = heapd[parent]; heapd[parent] = heapd[i]; heapd[i] = dd;
+    i = parent;
+  }
+  return n + 1;
+}
+
+fn heap_pop(n) {
+  n = n - 1;
+  heapt[0] = heapt[n];
+  heapd[0] = heapd[n];
+  var i = 0;
+  while (1) {
+    var l = i * 2 + 1;
+    var r = l + 1;
+    var m = i;
+    if (l < n && heapt[l] < heapt[m]) { m = l; }
+    if (r < n && heapt[r] < heapt[m]) { m = r; }
+    if (m == i) { break; }
+    var tt = heapt[m]; heapt[m] = heapt[i]; heapt[i] = tt;
+    var dd = heapd[m]; heapd[m] = heapd[i]; heapd[i] = dd;
+    i = m;
+  }
+  return n;
+}
+
+fn main() {
+  var horizon = read_int();
+  var fanout = read_int();
+  var n = 0;
+  n = heap_push(n, 0, 1);
+  var x = 7;
+  var processed = 0;
+  var state = 0;
+  while (n > 0 && processed < horizon) {
+    var t = heapt[0];
+    var d = heapd[0];
+    n = heap_pop(n);
+    processed = processed + 1;
+    var node = d & 255;
+    nodestate[node] = nodestate[node] + 1;
+    state = state ^ (t * 31 + d);
+    var k = 0;
+    while (k < fanout && n < 65000) {
+      x = (x * 1103515245 + 12345) & 1073741823;
+      n = heap_push(n, t + 1 + (x & 63), (d * 5 + k) & 1023);
+      k = k + 1;
+    }
+  }
+  print_int(processed);
+  print_int(state);
+  sink(lib_dispatch(state & 15, state));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 130, 0x4710001);
+  W.TrainInput = {4000, 2};
+  W.RefInput = {10000, 2};
+  return W;
+}
+
+// 403.gcc: the C compiler. Dynamic signature: several branchy "passes"
+// over an array-encoded instruction stream; the SPEC original has the
+// *smallest* max execution count (14M) but one of the largest code
+// bodies -- heat is spread thin over a big binary.
+Workload detail::buildGcc() {
+  Workload W;
+  W.Name = "403.gcc";
+  W.Source = std::string(R"(
+global insn_op[60000];
+global insn_a[60000];
+global insn_b[60000];
+global value[60000];
+global live[60000];
+
+fn gen_function(n, seed) {
+  var x = seed;
+  var i = 0;
+  while (i < n) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    insn_op[i] = x & 7;
+    insn_a[i] = (x >> 4) & 1023;
+    insn_b[i] = (x >> 16) & 1023;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn const_fold_pass(n) {
+  var folded = 0;
+  var i = 0;
+  while (i < n) {
+    var op = insn_op[i];
+    if (op == 0) { value[i] = insn_a[i]; folded = folded + 1; }
+    else if (op == 1) { value[i] = value[insn_a[i] & 1023] + value[insn_b[i] & 1023]; }
+    else if (op == 2) { value[i] = value[insn_a[i] & 1023] - value[insn_b[i] & 1023]; }
+    else if (op == 3) { value[i] = value[insn_a[i] & 1023] * 3; }
+    else if (op == 4) { value[i] = value[insn_a[i] & 1023] ^ insn_b[i]; }
+    else { value[i] = value[i] + 1; }
+    i = i + 1;
+  }
+  return folded;
+}
+
+fn dce_pass(n) {
+  var removed = 0;
+  var i = n - 1;
+  while (i >= 0) {
+    if (live[i] == 0 && insn_op[i] > 4) {
+      removed = removed + 1;
+    } else {
+      live[insn_a[i] & 1023] = 1;
+      live[insn_b[i] & 1023] = 1;
+    }
+    i = i - 1;
+  }
+  return removed;
+}
+
+fn peephole_pass(n) {
+  var hits = 0;
+  var i = 0;
+  while (i < n - 1) {
+    if (insn_op[i] == 1 && insn_op[i + 1] == 2 &&
+        insn_a[i] == insn_b[i + 1]) {
+      insn_op[i + 1] = 5;
+      hits = hits + 1;
+    }
+    i = i + 1;
+  }
+  return hits;
+}
+
+fn main() {
+  var n = read_int();
+  var functions = read_int();
+  var total = 0;
+  var f = 0;
+  while (f < functions) {
+    gen_function(n, f * 2654435761 + 17);
+    total = total + const_fold_pass(n);
+    total = total + dce_pass(n);
+    total = total ^ peephole_pass(n);
+    f = f + 1;
+  }
+  print_int(total);
+  sink(lib_dispatch(total & 31, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 180, 0x4030001);
+  W.TrainInput = {6000, 2};
+  W.RefInput = {20000, 5};
+  return W;
+}
+
+// 483.xalancbmk: XSLT processing. Dynamic signature: repeated traversals
+// of a large implicit DOM tree with hash-style string ops; by far the
+// biggest binary in the suite (most of it cold).
+Workload detail::buildXalancbmk() {
+  Workload W;
+  W.Name = "483.xalancbmk";
+  W.Source = std::string(R"(
+global child0[50000];
+global child1[50000];
+global tag[50000];
+global stackbuf[50000];
+global result[50000];
+
+fn build_tree(n) {
+  var i = 0;
+  while (i < n) {
+    var l = i * 2 + 1;
+    var r = i * 2 + 2;
+    if (l < n) { child0[i] = l; } else { child0[i] = 0 - 1; }
+    if (r < n) { child1[i] = r; } else { child1[i] = 0 - 1; }
+    tag[i] = (i * 2654435761) & 63;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn transform_pass(n, rule) {
+  // Iterative DFS with an explicit stack, applying a "template" per tag.
+  var sp = 0;
+  stackbuf[sp] = 0;
+  sp = sp + 1;
+  var visited = 0;
+  var hash = 5381;
+  while (sp > 0) {
+    sp = sp - 1;
+    var node = stackbuf[sp];
+    visited = visited + 1;
+    var t = tag[node];
+    if (t == rule) {
+      hash = hash * 33 + node;
+      result[node] = hash & 65535;
+    } else if ((t & 3) == 0) {
+      hash = hash ^ (t * 131 + node);
+    } else {
+      hash = hash + t;
+    }
+    var c1 = child1[node];
+    if (c1 >= 0) { stackbuf[sp] = c1; sp = sp + 1; }
+    var c0 = child0[node];
+    if (c0 >= 0) { stackbuf[sp] = c0; sp = sp + 1; }
+  }
+  return hash ^ visited;
+}
+
+fn main() {
+  var n = read_int();
+  var passes = read_int();
+  build_tree(n);
+  var total = 0;
+  var p = 0;
+  while (p < passes) {
+    total = total ^ transform_pass(n, p & 63);
+    p = p + 1;
+  }
+  print_int(total);
+  sink(lib_dispatch(total & 31, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 420, 0x4830001);
+  W.TrainInput = {8000, 4};
+  W.RefInput = {30000, 8};
+  return W;
+}

@@ -1,0 +1,508 @@
+//===-- workloads/SpecMid.cpp - Mid-size SPEC-like workloads ---------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Mid-size benchmarks: sjeng, hmmer, namd, sphinx3, h264ref, soplex.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Builders.h"
+
+using namespace pgsd;
+using namespace pgsd::workloads;
+
+// 458.sjeng: chess. Dynamic signature: recursive game-tree search with a
+// branchy evaluator -- deep call stacks and data-dependent branching.
+Workload detail::buildSjeng() {
+  Workload W;
+  W.Name = "458.sjeng";
+  W.Source = std::string(R"(
+global board[64];
+global history[4096];
+
+fn eval_board(turn) {
+  var score = 0;
+  var i = 0;
+  while (i < 64) {
+    var piece = board[i];
+    if (piece != 0) {
+      var v = piece * 16 + (i & 7) - ((i >> 3) & 7);
+      if ((piece & 1) == turn) { score = score + v; }
+      else { score = score - v; }
+    }
+    i = i + 1;
+  }
+  return score;
+}
+
+fn negamax(depth, turn, alpha, beta, node) {
+  if (depth == 0) {
+    return eval_board(turn);
+  }
+  var best = 0 - 999999;
+  var move = 0;
+  while (move < 8) {
+    var sq = ((node * 13 + move * 7) & 63);
+    var saved = board[sq];
+    board[sq] = (turn * 2 + 1 + move) & 7;
+    history[(node + move) & 4095] = sq;
+    var score = 0 - negamax(depth - 1, 1 - turn, 0 - beta, 0 - alpha,
+                            node * 8 + move + 1);
+    board[sq] = saved;
+    if (score > best) { best = score; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) { break; }
+    move = move + 1;
+  }
+  return best;
+}
+
+fn main() {
+  var depth = read_int();
+  var positions = read_int();
+  var total = 0;
+  var p = 0;
+  while (p < positions) {
+    var i = 0;
+    while (i < 64) {
+      board[i] = ((i * 2654435761 + p) >> 5) & 7;
+      i = i + 1;
+    }
+    total = total ^ negamax(depth, p & 1, 0 - 999999, 999999, p);
+    p = p + 1;
+  }
+  print_int(total);
+  sink(lib_dispatch(total & 7, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 14, 0x5380001);
+  W.TrainInput = {4, 4};
+  W.RefInput = {5, 6};
+  return W;
+}
+
+// 456.hmmer: profile HMM search. Dynamic signature: the Viterbi dynamic-
+// programming recurrence -- one extremely hot, cheap-ALU inner loop (the
+// paper's largest x_max, ~4e9, came from hmmer).
+Workload detail::buildHmmer() {
+  Workload W;
+  W.Name = "456.hmmer";
+  W.Source = std::string(R"(
+global vm[2048];
+global vi[2048];
+global vd[2048];
+global emit[8192];
+global seq[65536];
+
+fn max2(a, b) {
+  if (a > b) { return a; }
+  return b;
+}
+
+fn viterbi_row(states, sym) {
+  var prev_m = vm[0];
+  var prev_i = vi[0];
+  var prev_d = vd[0];
+  var k = 1;
+  while (k < states) {
+    var cur_m = vm[k];
+    var cur_i = vi[k];
+    var cur_d = vd[k];
+    var e = emit[((sym << 5) + k) & 8191];
+    var m = prev_m + 3;
+    if (prev_i + 1 > m) { m = prev_i + 1; }
+    if (prev_d + 2 > m) { m = prev_d + 2; }
+    vm[k] = m + e;
+    var ii = cur_m - 4;
+    if (cur_i - 1 > ii) { ii = cur_i - 1; }
+    vi[k] = ii + (e >> 1);
+    var d = vm[k - 1] - 5;
+    if (vd[k - 1] - 1 > d) { d = vd[k - 1] - 1; }
+    vd[k] = d;
+    prev_m = cur_m;
+    prev_i = cur_i;
+    prev_d = cur_d;
+    k = k + 1;
+  }
+  return vm[states - 1];
+}
+
+fn main() {
+  var states = read_int();
+  var seqlen = read_int();
+  var x = 1;
+  var i = 0;
+  while (i < seqlen) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    seq[i] = x & 31;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < 8192) {
+    emit[i] = ((i * 2654435761) >> 16) & 63;
+    i = i + 1;
+  }
+  var score = 0;
+  i = 0;
+  while (i < seqlen) {
+    score = score ^ viterbi_row(states, seq[i]);
+    i = i + 1;
+  }
+  print_int(score);
+  sink(lib_dispatch(score & 7, score));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 18, 0x4560001);
+  W.TrainInput = {128, 400};
+  W.RefInput = {256, 420};
+  return W;
+}
+
+// 444.namd: molecular dynamics. Dynamic signature: pairwise force
+// computation in fixed point -- multiply-heavy nested loops with a
+// distance cutoff branch.
+Workload detail::buildNamd() {
+  Workload W;
+  W.Name = "444.namd";
+  W.Source = std::string(R"(
+global px[2048];
+global py[2048];
+global fx[2048];
+global fy[2048];
+
+fn init_particles(n) {
+  var x = 7;
+  var i = 0;
+  while (i < n) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    px[i] = x & 1023;
+    x = (x * 1103515245 + 12345) & 1073741823;
+    py[i] = x & 1023;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn compute_forces(n, cutoff) {
+  var pairs = 0;
+  var i = 0;
+  while (i < n) {
+    var xi = px[i];
+    var yi = py[i];
+    var fxi = 0;
+    var fyi = 0;
+    var j = 0;
+    while (j < n) {
+      if (j != i) {
+        var dx = xi - px[j];
+        var dy = yi - py[j];
+        var d2 = dx * dx + dy * dy;
+        if (d2 < cutoff) {
+          var inv = 65536 / (d2 + 16);
+          fxi = fxi + dx * inv;
+          fyi = fyi + dy * inv;
+          pairs = pairs + 1;
+        }
+      }
+      j = j + 1;
+    }
+    fx[i] = fxi;
+    fy[i] = fyi;
+    i = i + 1;
+  }
+  return pairs;
+}
+
+fn integrate(n) {
+  var i = 0;
+  while (i < n) {
+    px[i] = (px[i] + (fx[i] >> 12)) & 1023;
+    py[i] = (py[i] + (fy[i] >> 12)) & 1023;
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn main() {
+  var n = read_int();
+  var steps = read_int();
+  init_particles(n);
+  var pairs = 0;
+  var s = 0;
+  while (s < steps) {
+    pairs = pairs + compute_forces(n, 40000);
+    integrate(n);
+    s = s + 1;
+  }
+  var sum = 0;
+  var i = 0;
+  while (i < n) {
+    sum = sum ^ (px[i] * 31 + py[i]);
+    i = i + 1;
+  }
+  print_int(pairs);
+  print_int(sum);
+  sink(lib_dispatch(sum & 7, sum));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 22, 0x4440001);
+  W.TrainInput = {180, 2};
+  W.RefInput = {320, 4};
+  return W;
+}
+
+// 482.sphinx3: speech recognition. Dynamic signature: Gaussian mixture
+// scoring -- a dot-product-style loop of the cheapest possible ALU ops.
+// This is where naive NOP insertion hurt most in the paper (~25%), and
+// where profiling recovered the most.
+Workload detail::buildSphinx3() {
+  Workload W;
+  W.Name = "482.sphinx3";
+  W.Source = std::string(R"(
+global mean[16384];
+global var_[16384];
+global feat[64];
+global score[512];
+
+fn gauss_score(comp, frame) {
+  // Register-resident mixture scoring: the SPEC original is a dense
+  // floating-point kernel that saturates the front end, which is what
+  // makes inserted NOPs so expensive there. Model: a pure-ALU
+  // recurrence seeded from the component/frame ids.
+  var acc = 0;
+  var x = comp * 2654435761 + frame;
+  var k = 0;
+  while (k < 32) {
+    var d = (x >> 3) - (x >> 7) + k;
+    acc = acc + d * d;
+    x = x * 5 + 12345;
+    acc = acc ^ (x >> 16);
+    k = k + 1;
+  }
+  return acc >> 6;
+}
+
+fn main() {
+  var comps = read_int();
+  var frames = read_int();
+  var i = 0;
+  while (i < 16384) {
+    mean[i] = (i * 2654435761) & 255;
+    var_[i] = ((i * 40503) & 15) + 1;
+    i = i + 1;
+  }
+  var best = 0;
+  var f = 0;
+  while (f < frames) {
+    var k = 0;
+    while (k < 32) {
+      feat[k] = ((f * 31 + k * 17) & 255);
+      k = k + 1;
+    }
+    var c = 0;
+    var fbest = 999999999;
+    while (c < comps) {
+      var s = gauss_score(c, f);
+      score[c & 511] = s;
+      if (s < fbest) { fbest = s; }
+      c = c + 1;
+    }
+    best = best ^ fbest;
+    f = f + 1;
+  }
+  print_int(best);
+  sink(lib_dispatch(best & 7, best));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 26, 0x4820001);
+  W.TrainInput = {128, 16};
+  W.RefInput = {320, 44};
+  return W;
+}
+
+// 464.h264ref: video encoding. Dynamic signature: sum-of-absolute-
+// differences block matching -- nested motion-search loops around a hot
+// 8x8 SAD kernel.
+Workload detail::buildH264ref() {
+  Workload W;
+  W.Name = "464.h264ref";
+  W.Source = std::string(R"(
+global frame0[66000];
+global frame1[66000];
+
+fn abs32(x) {
+  if (x < 0) { return 0 - x; }
+  return x;
+}
+
+fn sad_block(width, x0, y0, x1, y1) {
+  var sad = 0;
+  var r = 0;
+  while (r < 8) {
+    var a = (y0 + r) * width + x0;
+    var b = (y1 + r) * width + x1;
+    var c = 0;
+    while (c < 8) {
+      sad = sad + abs32(frame0[a + c] - frame1[b + c]);
+      c = c + 1;
+    }
+    r = r + 1;
+  }
+  return sad;
+}
+
+fn motion_search(width, height, range) {
+  var total = 0;
+  var by = 8;
+  while (by + 16 < height) {
+    var bx = 8;
+    while (bx + 16 < width) {
+      var best = 999999999;
+      var dy = 0 - range;
+      while (dy <= range) {
+        var dx = 0 - range;
+        while (dx <= range) {
+          var s = sad_block(width, bx, by, bx + dx, by + dy);
+          if (s < best) { best = s; }
+          dx = dx + 1;
+        }
+        dy = dy + 1;
+      }
+      total = total + best;
+      bx = bx + 8;
+    }
+    by = by + 8;
+  }
+  return total;
+}
+
+fn main() {
+  var width = read_int();
+  var height = read_int();
+  var range = read_int();
+  var x = 5;
+  var i = 0;
+  while (i < width * height) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    frame0[i] = x & 255;
+    frame1[i] = (x >> 8) & 255;
+    i = i + 1;
+  }
+  var total = motion_search(width, height, range);
+  print_int(total);
+  sink(lib_dispatch(total & 7, total));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 34, 0x4640001);
+  W.TrainInput = {96, 64, 1};
+  W.RefInput = {192, 96, 2};
+  return W;
+}
+
+// 450.soplex: linear programming. Dynamic signature: simplex pivoting --
+// a ratio test with integer divisions inside column scans, mixing cheap
+// scans with expensive divides.
+Workload detail::buildSoplex() {
+  Workload W;
+  W.Name = "450.soplex";
+  W.Source = std::string(R"(
+global tab[40000];
+global basis[200];
+
+fn pivot_column(rows, cols) {
+  // Find the most negative cost in row 0.
+  var best = 0;
+  var bestv = 0;
+  var c = 1;
+  while (c < cols) {
+    var v = tab[c];
+    if (v < bestv) {
+      bestv = v;
+      best = c;
+    }
+    c = c + 1;
+  }
+  return best;
+}
+
+fn ratio_test(rows, cols, col) {
+  var bestr = 0;
+  var bestv = 999999999;
+  var r = 1;
+  while (r < rows) {
+    var a = tab[r * cols + col];
+    if (a > 0) {
+      var ratio = tab[r * cols] / a;
+      if (ratio < bestv) {
+        bestv = ratio;
+        bestr = r;
+      }
+    }
+    r = r + 1;
+  }
+  return bestr;
+}
+
+fn eliminate(rows, cols, prow, pcol) {
+  var p = tab[prow * cols + pcol];
+  if (p == 0) { p = 1; }
+  var r = 0;
+  while (r < rows) {
+    if (r != prow) {
+      var f = tab[r * cols + pcol] / p;
+      if (f != 0) {
+        var c = 0;
+        while (c < cols) {
+          tab[r * cols + c] = tab[r * cols + c] - f * tab[prow * cols + c];
+          c = c + 1;
+        }
+      }
+    }
+    r = r + 1;
+  }
+  return 0;
+}
+
+fn main() {
+  var rows = read_int();
+  var cols = read_int();
+  var iters = read_int();
+  var x = 31;
+  var i = 0;
+  while (i < rows * cols) {
+    x = (x * 1103515245 + 12345) & 1073741823;
+    tab[i] = (x & 2047) - 1024;
+    i = i + 1;
+  }
+  var it = 0;
+  while (it < iters) {
+    var col = pivot_column(rows, cols);
+    if (col == 0) { break; }
+    var row = ratio_test(rows, cols, col);
+    if (row == 0) { break; }
+    basis[row & 199] = col;
+    eliminate(rows, cols, row, col);
+    it = it + 1;
+  }
+  var sum = 0;
+  i = 0;
+  while (i < rows * cols) {
+    sum = sum ^ tab[i];
+    i = i + 1;
+  }
+  print_int(sum);
+  sink(lib_dispatch(sum & 7, sum));
+  return 0;
+}
+)");
+  appendColdLibrary(W.Source, 42, 0x4500001);
+  W.TrainInput = {40, 100, 30};
+  W.RefInput = {150, 260, 100};
+  return W;
+}

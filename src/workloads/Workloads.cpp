@@ -1,0 +1,135 @@
+//===-- workloads/Workloads.cpp - SPEC-like evaluation workloads -----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Builders.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::workloads;
+
+namespace {
+
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  if (N > 0)
+    Out.append(Buf, static_cast<size_t>(N) < sizeof(Buf)
+                        ? static_cast<size_t>(N)
+                        : sizeof(Buf) - 1);
+}
+
+} // namespace
+
+void workloads::appendColdLibrary(std::string &Out, unsigned Count,
+                                  uint64_t Seed) {
+  Rng Gen(Seed);
+  // Structurally varied cold functions: the bulk of a big real binary
+  // is code like this -- straight-line blocks, small loops, a few array
+  // touches -- that a given input never executes.
+  for (unsigned K = 0; K != Count; ++K) {
+    appendf(Out, "fn lib_%u(a, b) {\n", K);
+    appendf(Out, "  var acc = %llu;\n",
+            static_cast<unsigned long long>(Gen.nextBelow(100000)));
+    unsigned Shape = static_cast<unsigned>(Gen.nextBelow(4));
+    unsigned Stmts = 4 + static_cast<unsigned>(Gen.nextBelow(10));
+    if (Shape == 0) {
+      // Straight-line arithmetic.
+      for (unsigned S = 0; S != Stmts; ++S) {
+        static const char *const Ops[] = {"+", "-", "*", "^", "&", "|"};
+        appendf(Out, "  acc = (acc %s a) %s %llu;\n",
+                Ops[Gen.nextBelow(6)], Ops[Gen.nextBelow(6)],
+                static_cast<unsigned long long>(Gen.nextBelow(997) + 1));
+      }
+    } else if (Shape == 1) {
+      // Small loop over a local array.
+      appendf(Out, "  array buf[%llu];\n",
+              static_cast<unsigned long long>(Gen.nextBelow(24) + 8));
+      appendf(Out, "  var i = 0;\n");
+      appendf(Out, "  while (i < 8) {\n");
+      appendf(Out, "    buf[i] = a * i + b;\n");
+      appendf(Out, "    acc = acc + buf[i] - (i << %llu);\n",
+              static_cast<unsigned long long>(Gen.nextBelow(5)));
+      appendf(Out, "    i = i + 1;\n");
+      appendf(Out, "  }\n");
+      for (unsigned S = 0; S + 6 < Stmts; ++S)
+        appendf(Out, "  acc = acc ^ (b + %llu);\n",
+                static_cast<unsigned long long>(Gen.nextBelow(65536)));
+    } else if (Shape == 2) {
+      // Branchy validation code.
+      appendf(Out, "  if (a < b) { acc = acc + a; } else { acc = acc - b; }\n");
+      for (unsigned S = 0; S != Stmts / 2; ++S) {
+        appendf(Out, "  if ((a & %llu) != 0) { acc = acc * 3 + %u; }\n",
+                static_cast<unsigned long long>(1ull << Gen.nextBelow(8)),
+                static_cast<unsigned>(Gen.nextBelow(100)));
+      }
+      appendf(Out, "  if (acc == 0) { acc = 1; }\n");
+    } else {
+      // Call a previously generated sibling (deepens the call graph).
+      if (K > 0)
+        appendf(Out, "  acc = acc + lib_%llu(b, a);\n",
+                static_cast<unsigned long long>(Gen.nextBelow(K)));
+      for (unsigned S = 0; S != Stmts; ++S)
+        appendf(Out, "  acc = (acc >> 1) + (a & %llu) + b;\n",
+                static_cast<unsigned long long>(Gen.nextBelow(4096)));
+    }
+    appendf(Out, "  return acc;\n}\n");
+  }
+
+  // Dispatcher keeping every library function reachable at run time.
+  Out += "fn lib_dispatch(sel, x) {\n";
+  for (unsigned K = 0; K != Count; ++K)
+    appendf(Out, "  if (sel == %u) { return lib_%u(x, sel); }\n", K, K);
+  Out += "  return 0;\n}\n";
+}
+
+const std::vector<Workload> &workloads::specSuite() {
+  static const std::vector<Workload> Suite = [] {
+    std::vector<Workload> S;
+    S.push_back(detail::buildLbm());
+    S.push_back(detail::buildMcf());
+    S.push_back(detail::buildLibquantum());
+    S.push_back(detail::buildBzip2());
+    S.push_back(detail::buildAstar());
+    S.push_back(detail::buildMilc());
+    S.push_back(detail::buildSjeng());
+    S.push_back(detail::buildHmmer());
+    S.push_back(detail::buildNamd());
+    S.push_back(detail::buildSphinx3());
+    S.push_back(detail::buildH264ref());
+    S.push_back(detail::buildSoplex());
+    S.push_back(detail::buildDealII());
+    S.push_back(detail::buildPovray());
+    S.push_back(detail::buildPerlbench());
+    S.push_back(detail::buildGobmk());
+    S.push_back(detail::buildOmnetpp());
+    S.push_back(detail::buildGcc());
+    S.push_back(detail::buildXalancbmk());
+    return S;
+  }();
+  return Suite;
+}
+
+const Workload &workloads::specWorkload(const std::string &Name) {
+  for (const Workload &W : specSuite())
+    if (W.Name == Name)
+      return W;
+  assert(false && "unknown workload name");
+  return specSuite().front();
+}

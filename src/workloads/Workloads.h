@@ -1,0 +1,81 @@
+//===-- workloads/Workloads.h - SPEC-like evaluation workloads ---*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workloads. The paper measures SPEC CPU 2006 (19 C/C++
+/// benchmarks with train/ref input sets) and, for the case study, the
+/// PHP interpreter profiled with Computer Language Benchmarks Game
+/// programs. SPEC and PHP cannot be compiled by a from-scratch MiniC
+/// toolchain, so each benchmark is modeled as a MiniC program named
+/// after its SPEC counterpart and built to preserve the two properties
+/// the experiments depend on:
+///
+///  * dynamic shape -- loop-nesting depth, call-graph shape, hot/cold
+///    split, and execution-count spread (e.g. the astar-like workload
+///    reproduces "median well below maximum" from Section 3.1), and
+///  * static size ordering -- .text sizes spanning two orders of
+///    magnitude so Table 2's "surviving fraction falls as binaries
+///    grow" trend is measurable.
+///
+/// Big benchmarks reach their size with deterministic, structurally
+/// varied cold library functions appended by a generator (modeling the
+/// large mostly-cold code bodies of gcc/xalancbmk), all reachable
+/// through a dispatcher so the code is semantically live.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_WORKLOADS_WORKLOADS_H
+#define PGSD_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace workloads {
+
+/// One benchmark: MiniC source plus train/ref inputs.
+struct Workload {
+  std::string Name;        ///< SPEC-style name, e.g. "400.perlbench".
+  std::string Source;      ///< MiniC program text.
+  std::vector<int32_t> TrainInput; ///< Profiling input (paper: train set).
+  std::vector<int32_t> RefInput;   ///< Measurement input (paper: ref set).
+};
+
+/// Returns the 19 SPEC-CPU-2006-like workloads (stable order and
+/// content; generation is deterministic).
+const std::vector<Workload> &specSuite();
+
+/// Returns one workload from the suite by name; asserts if absent.
+const Workload &specWorkload(const std::string &Name);
+
+/// The PHP-like interpreter for the Section 5.2 case study: a stack VM
+/// in MiniC whose input stream carries a bytecode program. Train/Ref
+/// inputs are placeholders; combine with a script from clbgScripts().
+Workload phpInterpreter();
+
+/// One interpreter script (a bytecode program encoded as the VM input).
+struct PhpScript {
+  std::string Name;
+  std::vector<int32_t> Input; ///< Full VM input: bytecode + arguments.
+};
+
+/// The seven Computer-Language-Benchmarks-Game-style profiling scripts
+/// (paper Section 5.2: binarytrees, fannkuchredux, mandelbrot, nbody,
+/// pidigits, spectralnorm, fasta), each stressing different interpreter
+/// subsystems.
+const std::vector<PhpScript> &clbgScripts();
+
+/// Deterministically generates \p Count cold library functions plus a
+/// dispatcher `fn lib_dispatch(sel, x)`; used by the large workloads and
+/// exposed for tests. Appends MiniC text to \p Out.
+void appendColdLibrary(std::string &Out, unsigned Count, uint64_t Seed);
+
+} // namespace workloads
+} // namespace pgsd
+
+#endif // PGSD_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,120 @@
+//===-- x86/Decoder.h - IA-32 instruction-stream decoder --------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A general IA-32 length decoder and instruction classifier.
+///
+/// The gadget scanner (paper Section 5.2) decodes the .text section at
+/// *arbitrary byte offsets* -- x86 is densely encoded, so most offsets
+/// yield some valid instruction sequence. This decoder therefore covers
+/// the full one-byte opcode map and the common two-byte (0F) map,
+/// including prefixes, ModRM/SIB forms, and 16-bit address-size
+/// fallbacks. It reports:
+///
+///   * the instruction length (to advance the scan),
+///   * a classification (normal / control flow kinds / privileged /
+///     invalid) used to validate gadget candidates: a candidate must
+///     "decompile to valid x86 code having no control-flow instructions
+///     except a free branch at the end" (paper Section 5.2), and
+///   * raw fields (opcode, ModRM, immediate) used by the semantic gadget
+///     classifier in the attack-feasibility checker.
+///
+/// Undefined opcodes and opcodes that fault outside ring 0 (IN/OUT, HLT,
+/// CLI, ...) are flagged so the scanner can reject sequences an attacker
+/// could not execute -- the same property the paper exploits when picking
+/// NOP candidates whose second byte decodes to IN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_X86_DECODER_H
+#define PGSD_X86_DECODER_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pgsd {
+namespace x86 {
+
+/// Coarse classification of a decoded instruction.
+enum class InstrClass : uint8_t {
+  Normal,     ///< No control-flow or privilege effect.
+  Ret,        ///< RET (C3) -- free branch.
+  RetImm,     ///< RET imm16 (C2) -- free branch.
+  RetFar,     ///< RETF / RETF imm16 -- free branch (rarely useful).
+  CallRel,    ///< CALL rel32 -- direct control flow.
+  CallInd,    ///< CALL r/m32 (FF /2, /3) -- free branch.
+  JmpRel,     ///< JMP rel8/rel32, direct far jump.
+  JmpInd,     ///< JMP r/m32 (FF /4, /5) -- free branch.
+  Jcc,        ///< Conditional branch (70+cc rel8, 0F 80+cc rel32).
+  Loop,       ///< LOOP/LOOPE/LOOPNE/JCXZ rel8.
+  IntN,       ///< INT imm8 / INT3 / INTO / SYSENTER -- software interrupt.
+  Privileged, ///< Faults outside ring 0 (IN/OUT/HLT/CLI/...).
+  Invalid,    ///< Undefined encoding or truncated instruction.
+};
+
+/// Result of decoding one instruction.
+struct Decoded {
+  uint8_t Length = 0;        ///< Total length in bytes (prefixes included).
+  InstrClass Class = InstrClass::Invalid;
+  uint8_t Opcode = 0;        ///< Primary opcode byte (after prefixes).
+  bool TwoByte = false;      ///< True when the opcode came from the 0F map.
+  bool HasModRM = false;
+  uint8_t ModRM = 0;
+  bool HasImm = false;
+  int64_t Imm = 0;           ///< Sign-extended immediate, when present.
+  uint8_t NumPrefixes = 0;
+
+  /// ModRM field accessors (only meaningful when HasModRM).
+  uint8_t modField() const { return ModRM >> 6; }
+  uint8_t regField() const { return (ModRM >> 3) & 7; }
+  uint8_t rmField() const { return ModRM & 7; }
+
+  /// True for the "free branch" kinds the paper's scanner accepts as
+  /// gadget terminators: "returns, indirect calls, or jumps".
+  bool isFreeBranch() const {
+    return Class == InstrClass::Ret || Class == InstrClass::RetImm ||
+           Class == InstrClass::RetFar || Class == InstrClass::CallInd ||
+           Class == InstrClass::JmpInd;
+  }
+
+  /// True for any control-transfer instruction (free or direct).
+  bool isControlFlow() const {
+    switch (Class) {
+    case InstrClass::Ret:
+    case InstrClass::RetImm:
+    case InstrClass::RetFar:
+    case InstrClass::CallRel:
+    case InstrClass::CallInd:
+    case InstrClass::JmpRel:
+    case InstrClass::JmpInd:
+    case InstrClass::Jcc:
+    case InstrClass::Loop:
+    case InstrClass::IntN:
+      return true;
+    case InstrClass::Normal:
+    case InstrClass::Privileged:
+    case InstrClass::Invalid:
+      return false;
+    }
+    return false;
+  }
+
+  /// True when the instruction can appear inside a usable gadget body.
+  bool isUsableBody() const { return Class == InstrClass::Normal; }
+};
+
+/// Decodes the instruction starting at \p Bytes (at most \p Size bytes).
+///
+/// \returns false when the bytes are not a valid instruction (undefined
+/// opcode, truncated, or over the 15-byte architectural limit); \p Out is
+/// still filled with Class == Invalid in that case.
+bool decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out);
+
+} // namespace x86
+} // namespace pgsd
+
+#endif // PGSD_X86_DECODER_H

@@ -1,0 +1,499 @@
+//===-- x86/Disasm.cpp - IA-32 textual disassembler ------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Disasm.h"
+
+#include "x86/X86.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::x86;
+
+namespace {
+
+const char *const Reg32[8] = {"eax", "ecx", "edx", "ebx",
+                              "esp", "ebp", "esi", "edi"};
+const char *const Reg8[8] = {"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"};
+const char *const Reg16[8] = {"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"};
+
+/// Operand width for register operands.
+enum class Width { B, W, D };
+
+const char *regName(unsigned N, Width W) {
+  switch (W) {
+  case Width::B:
+    return Reg8[N & 7];
+  case Width::W:
+    return Reg16[N & 7];
+  case Width::D:
+    return Reg32[N & 7];
+  }
+  return "?";
+}
+
+std::string hex(int64_t V) {
+  char Buf[32];
+  if (V < 0)
+    std::snprintf(Buf, sizeof(Buf), "-0x%llx",
+                  static_cast<unsigned long long>(-V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                  static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Re-parses the ModRM/SIB/displacement region and renders the r/m
+/// operand. \p P points at the ModRM byte.
+std::string renderRM(const uint8_t *P, Width W) {
+  uint8_t ModRM = P[0];
+  uint8_t Mod = ModRM >> 6;
+  uint8_t RM = ModRM & 7;
+  if (Mod == 3)
+    return regName(RM, W);
+
+  std::string Base, Index;
+  unsigned Scale = 1;
+  const uint8_t *DispPtr = P + 1;
+  if (RM == 4) {
+    uint8_t SIB = P[1];
+    DispPtr = P + 2;
+    unsigned IndexReg = (SIB >> 3) & 7;
+    if (IndexReg != 4) {
+      Index = Reg32[IndexReg];
+      Scale = 1u << (SIB >> 6);
+    }
+    unsigned BaseReg = SIB & 7;
+    if (!(Mod == 0 && BaseReg == 5))
+      Base = Reg32[BaseReg];
+  } else if (!(Mod == 0 && RM == 5)) {
+    Base = Reg32[RM];
+  }
+
+  int32_t Disp = 0;
+  if (Mod == 1) {
+    Disp = static_cast<int8_t>(DispPtr[0]);
+  } else if (Mod == 2 || (Mod == 0 && RM == 5) ||
+             (Mod == 0 && RM == 4 && (P[1] & 7) == 5)) {
+    Disp = static_cast<int32_t>(
+        static_cast<uint32_t>(DispPtr[0]) |
+        (static_cast<uint32_t>(DispPtr[1]) << 8) |
+        (static_cast<uint32_t>(DispPtr[2]) << 16) |
+        (static_cast<uint32_t>(DispPtr[3]) << 24));
+  }
+
+  std::string Out = "[";
+  bool Need = false;
+  if (!Base.empty()) {
+    Out += Base;
+    Need = true;
+  }
+  if (!Index.empty()) {
+    if (Need)
+      Out += "+";
+    Out += Index;
+    if (Scale != 1) {
+      Out += "*";
+      Out += std::to_string(Scale);
+    }
+    Need = true;
+  }
+  if (Disp != 0 || !Need) {
+    if (Need)
+      Out += Disp < 0 ? "-" : "+";
+    Out += hex(Disp < 0 && Need ? -static_cast<int64_t>(Disp) : Disp);
+  }
+  Out += "]";
+  return Out;
+}
+
+const char *const AluNames[8] = {"add", "or",  "adc", "sbb",
+                                 "and", "sub", "xor", "cmp"};
+const char *const ShiftNames[8] = {"rol", "ror", "rcl", "rcr",
+                                   "shl", "shr", "sal", "sar"};
+const char *const Group3Names[8] = {"test", "test", "not", "neg",
+                                    "mul",  "imul", "div", "idiv"};
+
+} // namespace
+
+std::string x86::disassemble(const uint8_t *Bytes, const Decoded &D) {
+  if (D.Length == 0)
+    return "(bad)";
+  const uint8_t *P = Bytes + D.NumPrefixes; // opcode position
+  const uint8_t *MP = P + (D.TwoByte ? 2 : 1); // ModRM position
+  uint8_t Op = D.Opcode;
+  Width W = Width::D;
+  // Render through a uniform helper set.
+  auto RM = [&](Width Wd) { return renderRM(MP, Wd); };
+  auto RegOf = [&](Width Wd) { return regName(D.regField(), Wd); };
+  auto Two = [&](const char *Name, std::string A, std::string B) {
+    return std::string(Name) + " " + A + ", " + B;
+  };
+  auto One = [&](const char *Name, std::string A) {
+    return std::string(Name) + " " + A;
+  };
+  auto Rel = [&](const char *Name) {
+    // Branch targets print as displacements relative to the instruction
+    // start ("$"), the way ROP tooling shows them.
+    int64_t Target = D.Imm + D.Length;
+    if (Target >= 0)
+      return std::string(Name) + " $+" + hex(Target);
+    return std::string(Name) + " $-" + hex(-Target);
+  };
+
+  std::string Text;
+  if (!D.TwoByte) {
+    // ALU rows.
+    if (Op <= 0x3D && (Op & 7) <= 5 && (Op & 0xC7) != 0x06 &&
+        (Op & 0xC7) != 0x07) {
+      const char *Name = AluNames[Op >> 3];
+      switch (Op & 7) {
+      case 0:
+        return Two(Name, RM(Width::B), RegOf(Width::B));
+      case 1:
+        return Two(Name, RM(Width::D), RegOf(Width::D));
+      case 2:
+        return Two(Name, RegOf(Width::B), RM(Width::B));
+      case 3:
+        return Two(Name, RegOf(Width::D), RM(Width::D));
+      case 4:
+        return Two(Name, "al", hex(D.Imm));
+      default:
+        return Two(Name, "eax", hex(D.Imm));
+      }
+    }
+    switch (Op) {
+    case 0x06:
+      return "push es";
+    case 0x07:
+      return "pop es";
+    case 0x0E:
+      return "push cs";
+    case 0x16:
+      return "push ss";
+    case 0x17:
+      return "pop ss";
+    case 0x1E:
+      return "push ds";
+    case 0x1F:
+      return "pop ds";
+    case 0x27:
+      return "daa";
+    case 0x2F:
+      return "das";
+    case 0x37:
+      return "aaa";
+    case 0x3F:
+      return "aas";
+    case 0x60:
+      return "pusha";
+    case 0x61:
+      return "popa";
+    case 0x62:
+      return Two("bound", RegOf(W), RM(W));
+    case 0x63:
+      return Two("arpl", RM(Width::W), RegOf(Width::W));
+    case 0x68:
+    case 0x6A:
+      return One("push", hex(D.Imm));
+    case 0x69:
+    case 0x6B:
+      return Two("imul", RegOf(W), RM(W) + ", " + hex(D.Imm));
+    case 0x84:
+      return Two("test", RM(Width::B), RegOf(Width::B));
+    case 0x85:
+      return Two("test", RM(W), RegOf(W));
+    case 0x86:
+      return Two("xchg", RM(Width::B), RegOf(Width::B));
+    case 0x87:
+      return Two("xchg", RM(W), RegOf(W));
+    case 0x88:
+      return Two("mov", RM(Width::B), RegOf(Width::B));
+    case 0x89:
+      return Two("mov", RM(W), RegOf(W));
+    case 0x8A:
+      return Two("mov", RegOf(Width::B), RM(Width::B));
+    case 0x8B:
+      return Two("mov", RegOf(W), RM(W));
+    case 0x8D:
+      return Two("lea", RegOf(W), RM(W));
+    case 0x8F:
+      return One("pop", RM(W));
+    case 0x90:
+      return "nop";
+    case 0x98:
+      return "cwde";
+    case 0x99:
+      return "cdq";
+    case 0x9B:
+      return "fwait";
+    case 0x9C:
+      return "pushf";
+    case 0x9D:
+      return "popf";
+    case 0x9E:
+      return "sahf";
+    case 0x9F:
+      return "lahf";
+    case 0xA8:
+      return Two("test", "al", hex(D.Imm));
+    case 0xA9:
+      return Two("test", "eax", hex(D.Imm));
+    case 0xC2:
+      return One("ret", hex(D.Imm));
+    case 0xC3:
+      return "ret";
+    case 0xC6:
+      return Two("mov", RM(Width::B), hex(D.Imm));
+    case 0xC7:
+      return Two("mov", RM(W), hex(D.Imm));
+    case 0xC9:
+      return "leave";
+    case 0xCA:
+      return One("retf", hex(D.Imm));
+    case 0xCB:
+      return "retf";
+    case 0xCC:
+      return "int3";
+    case 0xCD:
+      return One("int", hex(D.Imm & 0xFF));
+    case 0xCE:
+      return "into";
+    case 0xCF:
+      return "iret";
+    case 0xD7:
+      return "xlat";
+    case 0xE4:
+      return Two("in", "al", hex(D.Imm));
+    case 0xE5:
+      return Two("in", "eax", hex(D.Imm));
+    case 0xE6:
+      return Two("out", hex(D.Imm), "al");
+    case 0xE7:
+      return Two("out", hex(D.Imm), "eax");
+    case 0xEC:
+      return "in al, dx";
+    case 0xED:
+      return "in eax, dx";
+    case 0xEE:
+      return "out dx, al";
+    case 0xEF:
+      return "out dx, eax";
+    case 0xE8:
+      return Rel("call");
+    case 0xE9:
+    case 0xEB:
+      return Rel("jmp");
+    case 0xE0:
+      return Rel("loopne");
+    case 0xE1:
+      return Rel("loope");
+    case 0xE2:
+      return Rel("loop");
+    case 0xE3:
+      return Rel("jecxz");
+    case 0xF4:
+      return "hlt";
+    case 0xF5:
+      return "cmc";
+    case 0xF8:
+      return "clc";
+    case 0xF9:
+      return "stc";
+    case 0xFA:
+      return "cli";
+    case 0xFB:
+      return "sti";
+    case 0xFC:
+      return "cld";
+    case 0xFD:
+      return "std";
+    default:
+      break;
+    }
+    if (Op >= 0x40 && Op <= 0x47)
+      return One("inc", Reg32[Op - 0x40]);
+    if (Op >= 0x48 && Op <= 0x4F)
+      return One("dec", Reg32[Op - 0x48]);
+    if (Op >= 0x50 && Op <= 0x57)
+      return One("push", Reg32[Op - 0x50]);
+    if (Op >= 0x58 && Op <= 0x5F)
+      return One("pop", Reg32[Op - 0x58]);
+    if (Op >= 0x70 && Op <= 0x7F)
+      return Rel((std::string("j") +
+                  condName(static_cast<CondCode>(Op - 0x70)))
+                     .c_str());
+    if (Op >= 0x91 && Op <= 0x97)
+      return Two("xchg", "eax", Reg32[Op - 0x90]);
+    if (Op >= 0xB0 && Op <= 0xB7)
+      return Two("mov", Reg8[Op - 0xB0], hex(D.Imm));
+    if (Op >= 0xB8 && Op <= 0xBF)
+      return Two("mov", Reg32[Op - 0xB8], hex(D.Imm));
+    if (Op == 0x80 || Op == 0x82)
+      return Two(AluNames[D.regField()], RM(Width::B), hex(D.Imm));
+    if (Op == 0x81 || Op == 0x83)
+      return Two(AluNames[D.regField()], RM(W), hex(D.Imm));
+    if (Op == 0xC0)
+      return Two(ShiftNames[D.regField()], RM(Width::B), hex(D.Imm));
+    if (Op == 0xC1)
+      return Two(ShiftNames[D.regField()], RM(W), hex(D.Imm));
+    if (Op == 0xD0)
+      return Two(ShiftNames[D.regField()], RM(Width::B), "1");
+    if (Op == 0xD1)
+      return Two(ShiftNames[D.regField()], RM(W), "1");
+    if (Op == 0xD2)
+      return Two(ShiftNames[D.regField()], RM(Width::B), "cl");
+    if (Op == 0xD3)
+      return Two(ShiftNames[D.regField()], RM(W), "cl");
+    if (Op == 0xF6) {
+      if (D.regField() <= 1)
+        return Two("test", RM(Width::B), hex(D.Imm));
+      return One(Group3Names[D.regField()], RM(Width::B));
+    }
+    if (Op == 0xF7) {
+      if (D.regField() <= 1)
+        return Two("test", RM(W), hex(D.Imm));
+      return One(Group3Names[D.regField()], RM(W));
+    }
+    if (Op == 0xFE)
+      return One(D.regField() == 0 ? "inc" : "dec", RM(Width::B));
+    if (Op == 0xFF) {
+      static const char *const G5[8] = {"inc",  "dec",  "call", "callf",
+                                        "jmp",  "jmpf", "push", "(bad)"};
+      return One(G5[D.regField()], RM(W));
+    }
+    if (Op >= 0xA4 && Op <= 0xA7) {
+      static const char *const Names[4] = {"movsb", "movsd", "cmpsb",
+                                           "cmpsd"};
+      return Names[Op - 0xA4];
+    }
+    if (Op >= 0xAA && Op <= 0xAF) {
+      static const char *const Names[6] = {"stosb", "stosd", "lodsb",
+                                           "lodsd", "scasb", "scasd"};
+      return Names[Op - 0xAA];
+    }
+    if (Op >= 0xA0 && Op <= 0xA3) {
+      std::string Moffs = "[" + hex(D.Imm) + "]";
+      if (Op == 0xA0)
+        return Two("mov", "al", Moffs);
+      if (Op == 0xA1)
+        return Two("mov", "eax", Moffs);
+      if (Op == 0xA2)
+        return Two("mov", Moffs, "al");
+      return Two("mov", Moffs, "eax");
+    }
+  } else {
+    // Two-byte opcodes.
+    if (Op >= 0x80 && Op <= 0x8F)
+      return Rel((std::string("j") +
+                  condName(static_cast<CondCode>(Op - 0x80)))
+                     .c_str());
+    if (Op >= 0x90 && Op <= 0x9F)
+      return One((std::string("set") +
+                  condName(static_cast<CondCode>(Op - 0x90)))
+                     .c_str(),
+                 RM(Width::B));
+    if (Op >= 0x40 && Op <= 0x4F)
+      return Two((std::string("cmov") +
+                  condName(static_cast<CondCode>(Op - 0x40)))
+                     .c_str(),
+                 RegOf(W), RM(W));
+    if (Op >= 0xC8 && Op <= 0xCF)
+      return One("bswap", Reg32[Op - 0xC8]);
+    switch (Op) {
+    case 0x31:
+      return "rdtsc";
+    case 0x34:
+      return "sysenter";
+    case 0xA2:
+      return "cpuid";
+    case 0xA0:
+      return "push fs";
+    case 0xA1:
+      return "pop fs";
+    case 0xA8:
+      return "push gs";
+    case 0xA9:
+      return "pop gs";
+    case 0xA3:
+      return Two("bt", RM(W), RegOf(W));
+    case 0xAB:
+      return Two("bts", RM(W), RegOf(W));
+    case 0xB3:
+      return Two("btr", RM(W), RegOf(W));
+    case 0xBB:
+      return Two("btc", RM(W), RegOf(W));
+    case 0xAF:
+      return Two("imul", RegOf(W), RM(W));
+    case 0xB6:
+      return Two("movzx", RegOf(W), RM(Width::B));
+    case 0xB7:
+      return Two("movzx", RegOf(W), RM(Width::W));
+    case 0xBE:
+      return Two("movsx", RegOf(W), RM(Width::B));
+    case 0xBF:
+      return Two("movsx", RegOf(W), RM(Width::W));
+    case 0xBC:
+      return Two("bsf", RegOf(W), RM(W));
+    case 0xBD:
+      return Two("bsr", RegOf(W), RM(W));
+    case 0xA4:
+      return Two("shld", RM(W), std::string(RegOf(W)) + ", " + hex(D.Imm));
+    case 0xAC:
+      return Two("shrd", RM(W), std::string(RegOf(W)) + ", " + hex(D.Imm));
+    case 0xA5:
+      return Two("shld", RM(W), std::string(RegOf(W)) + ", cl");
+    case 0xAD:
+      return Two("shrd", RM(W), std::string(RegOf(W)) + ", cl");
+    default:
+      break;
+    }
+  }
+
+  // Generic fallback: opcode tag plus whatever operands were decoded.
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "op_%s%02x", D.TwoByte ? "0f" : "", Op);
+  std::string Out = Buf;
+  if (D.HasModRM)
+    Out += " " + RM(W);
+  if (D.HasImm)
+    Out += std::string(D.HasModRM ? ", " : " ") + hex(D.Imm);
+  return Out;
+}
+
+std::string x86::disassembleAt(const uint8_t *Bytes, size_t Size) {
+  Decoded D;
+  if (!decodeInstr(Bytes, Size, D))
+    return "(bad)";
+  return disassemble(Bytes, D);
+}
+
+std::vector<DisasmLine> x86::disassembleRange(const uint8_t *Text,
+                                              size_t Size, uint32_t Begin,
+                                              uint32_t End) {
+  std::vector<DisasmLine> Lines;
+  uint32_t Pos = Begin;
+  while (Pos < End && Pos < Size) {
+    DisasmLine Line;
+    Line.Offset = Pos;
+    Decoded D;
+    if (decodeInstr(Text + Pos, Size - Pos, D)) {
+      Line.Length = D.Length;
+      Line.Text = disassemble(Text + Pos, D);
+      Line.Valid = true;
+      Pos += D.Length;
+    } else {
+      Line.Length = 1;
+      Line.Text = "(bad)";
+      Line.Valid = false;
+      ++Pos;
+    }
+    Lines.push_back(std::move(Line));
+  }
+  return Lines;
+}

@@ -1,0 +1,58 @@
+//===-- x86/Disasm.h - IA-32 textual disassembler ----------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders decoded IA-32 instructions as Intel-syntax text. Used by the
+/// examples and tools to show gadgets the way ROP tooling prints them,
+/// and by tests to pin decoder semantics to human-checkable strings.
+///
+/// Coverage focuses on the instructions that appear in generated code
+/// and in gadget scans: the full ALU rows, moves, stack operations,
+/// control flow, string ops, shifts/groups, and the common two-byte
+/// opcodes. Anything else renders as a generic "op_XX" form with its
+/// operands, never as wrong text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_X86_DISASM_H
+#define PGSD_X86_DISASM_H
+
+#include "x86/Decoder.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace x86 {
+
+/// Disassembles the single instruction at \p Bytes (decoded as \p D,
+/// which must have come from decodeInstr on the same bytes).
+std::string disassemble(const uint8_t *Bytes, const Decoded &D);
+
+/// Decodes and disassembles one instruction; returns "(bad)" when the
+/// bytes do not decode.
+std::string disassembleAt(const uint8_t *Bytes, size_t Size);
+
+/// One line of a linear disassembly listing.
+struct DisasmLine {
+  uint32_t Offset = 0;
+  uint8_t Length = 0;
+  std::string Text;
+  bool Valid = false;
+};
+
+/// Linearly disassembles [Begin, End) of \p Text, resynchronizing one
+/// byte after invalid encodings (which appear as "(bad)" lines).
+std::vector<DisasmLine> disassembleRange(const uint8_t *Text, size_t Size,
+                                         uint32_t Begin, uint32_t End);
+
+} // namespace x86
+} // namespace pgsd
+
+#endif // PGSD_X86_DISASM_H

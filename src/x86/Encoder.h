@@ -1,0 +1,134 @@
+//===-- x86/Encoder.h - IA-32 machine-code emitter ---------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits real IA-32 machine code for the instruction subset produced by
+/// the code generator. The NOP insertion pass runs on the machine IR just
+/// before these bytes are produced (paper Section 4: "our strategy is to
+/// insert NOPs into the lower-level representation, after the compiler
+/// performs all optimizations and just before it emits native code"), so
+/// the byte-level output is what the gadget scanner and Survivor analyze.
+///
+/// Branch and call targets are emitted as rel32 placeholders; the caller
+/// records the returned fixup offsets and patches them once block/function
+/// layout is final (see codegen/Emitter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_X86_ENCODER_H
+#define PGSD_X86_ENCODER_H
+
+#include "x86/Nops.h"
+#include "x86/X86.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pgsd {
+namespace x86 {
+
+/// Two-operand ALU operations sharing the classic opcode-row layout.
+enum class AluOp : uint8_t {
+  Add = 0,
+  Or = 1,
+  Adc = 2,
+  Sbb = 3,
+  And = 4,
+  Sub = 5,
+  Xor = 6,
+  Cmp = 7,
+};
+
+/// Shift operations (group 2 /reg selectors).
+enum class ShiftOp : uint8_t {
+  Shl = 4,
+  Shr = 5,
+  Sar = 7,
+};
+
+/// Appends encoded IA-32 instructions to a byte buffer.
+class Encoder {
+public:
+  explicit Encoder(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  /// Current offset, i.e. the position the next instruction starts at.
+  size_t offset() const { return Out.size(); }
+
+  // Moves.
+  void movRR(Reg Dst, Reg Src);           ///< MOV Dst, Src       (89 /r)
+  void movRI(Reg Dst, int32_t Imm);       ///< MOV Dst, imm32     (B8+rd)
+  void movLoad(Reg Dst, const Mem &Src);  ///< MOV Dst, [Src]     (8B /r)
+  void movStore(const Mem &Dst, Reg Src); ///< MOV [Dst], Src     (89 /r)
+  void movStoreImm(const Mem &Dst, int32_t Imm); ///< MOV [Dst], imm (C7 /0)
+  void leaRM(Reg Dst, const Mem &Src);    ///< LEA Dst, [Src]     (8D /r)
+
+  // ALU.
+  void aluRR(AluOp Op, Reg Dst, Reg Src); ///< op Dst, Src
+  void aluRI(AluOp Op, Reg Dst, int32_t Imm); ///< op Dst, imm (81/83 /n)
+  void aluRM(AluOp Op, Reg Dst, const Mem &Src); ///< op Dst, [Src]
+  void imulRR(Reg Dst, Reg Src);          ///< IMUL Dst, Src      (0F AF /r)
+  void cdq();                             ///< CDQ                (99)
+  void idivR(Reg Src);                    ///< IDIV Src           (F7 /7)
+  void negR(Reg R);                       ///< NEG R              (F7 /3)
+  void notR(Reg R);                       ///< NOT R              (F7 /2)
+  void shiftRI(ShiftOp Op, Reg R, uint8_t Amount); ///< shift R, imm8
+  void shiftRCL(ShiftOp Op, Reg R);       ///< shift R, CL        (D3 /n)
+  void testRR(Reg A, Reg B);              ///< TEST A, B          (85 /r)
+
+  // Flag materialization: SETcc writes the low byte of a register, so the
+  // destination must be EAX..EBX (which have 8-bit subregisters).
+  void setccR8(CondCode CC, Reg Dst);     ///< SETcc Dst8      (0F 90+cc)
+  void movzxR8(Reg Dst, Reg Src);         ///< MOVZX Dst, Src8 (0F B6 /r)
+
+  // Stack.
+  void pushR(Reg R);                      ///< PUSH R             (50+rd)
+  void pushI(int32_t Imm);                ///< PUSH imm32         (68)
+  void popR(Reg R);                       ///< POP R              (58+rd)
+  void leave();                           ///< LEAVE              (C9)
+
+  // Control flow. The *Rel forms emit a rel32 placeholder and return the
+  /// byte offset of that placeholder for later patching.
+  size_t callRel();                       ///< CALL rel32         (E8)
+  size_t jmpRel();                        ///< JMP rel32          (E9)
+  size_t jccRel(CondCode CC);             ///< Jcc rel32       (0F 80+cc)
+  void callInd(Reg R);                    ///< CALL R             (FF /2)
+  void jmpInd(Reg R);                     ///< JMP R              (FF /4)
+  void ret();                             ///< RET                (C3)
+  void retImm(uint16_t PopBytes);         ///< RET imm16          (C2)
+  void intN(uint8_t Vector);              ///< INT imm8           (CD)
+
+  /// INC dword [M] (FF /0) -- the classic profiling-counter increment.
+  /// Returns the byte offset of the disp32 field so the linker can
+  /// relocate absolute counter addresses.
+  size_t incMem(const Mem &M);
+
+  // Diversity NOPs (paper Table 1).
+  void nop(NopKind Kind);
+
+  /// Patches a previously emitted rel32 placeholder at \p FixupOffset so
+  /// the branch lands on \p TargetOffset (both relative to buffer start).
+  void patchRel32(size_t FixupOffset, size_t TargetOffset);
+
+  /// Writes a raw byte (used by the libc-stub builder for data padding).
+  void rawByte(uint8_t Byte) { Out.push_back(Byte); }
+
+private:
+  void byte(uint8_t B) { Out.push_back(B); }
+  void imm16(uint16_t V);
+  void imm32(uint32_t V);
+  /// Emits a ModRM byte with register-direct rm (mod = 11).
+  void modRMReg(uint8_t RegField, Reg RM);
+  /// Emits ModRM (+SIB +disp) for a memory operand.
+  void modRMMem(uint8_t RegField, const Mem &M);
+
+  std::vector<uint8_t> &Out;
+};
+
+} // namespace x86
+} // namespace pgsd
+
+#endif // PGSD_X86_ENCODER_H

@@ -1,0 +1,28 @@
+//===-- x86/X86.cpp - IA-32 common definitions ----------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/X86.h"
+
+#include <cassert>
+
+using namespace pgsd;
+using namespace pgsd::x86;
+
+const char *x86::regName(Reg R) {
+  static const char *const Names[NumRegs] = {"eax", "ecx", "edx", "ebx",
+                                             "esp", "ebp", "esi", "edi"};
+  assert(regNum(R) < NumRegs && "invalid register");
+  return Names[regNum(R)];
+}
+
+const char *x86::condName(CondCode CC) {
+  static const char *const Names[16] = {"o", "no", "b",  "ae", "e",  "ne",
+                                        "be", "a", "s",  "ns", "p",  "np",
+                                        "l",  "ge", "le", "g"};
+  assert(static_cast<uint8_t>(CC) < 16 && "invalid condition code");
+  return Names[static_cast<uint8_t>(CC)];
+}

@@ -1,0 +1,111 @@
+//===-- x86/X86.h - IA-32 common definitions ---------------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared IA-32 definitions: general-purpose registers, condition codes,
+/// and memory-operand shape used by both the encoder and the backend.
+///
+/// The paper targets 32-bit x86 (Section 6: "We implemented and evaluated
+/// NOP insertion for 32-bit x86 microprocessors"), so the whole substrate
+/// is IA-32: 8 GPRs, 32-bit operands, flat memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_X86_X86_H
+#define PGSD_X86_X86_H
+
+#include <cstdint>
+
+namespace pgsd {
+namespace x86 {
+
+/// IA-32 general-purpose registers, numbered by their hardware encoding
+/// (the value placed in ModRM reg/rm fields and added to single-byte
+/// opcodes like PUSH r32).
+enum class Reg : uint8_t {
+  EAX = 0,
+  ECX = 1,
+  EDX = 2,
+  EBX = 3,
+  ESP = 4,
+  EBP = 5,
+  ESI = 6,
+  EDI = 7,
+};
+
+/// Number of general-purpose registers.
+inline constexpr unsigned NumRegs = 8;
+
+/// Returns the hardware encoding of \p R.
+inline uint8_t regNum(Reg R) { return static_cast<uint8_t>(R); }
+
+/// Returns a lowercase mnemonic ("eax") for \p R.
+const char *regName(Reg R);
+
+/// IA-32 condition codes, numbered by their encoding in Jcc/SETcc/CMOVcc
+/// opcodes (e.g. Jcc rel32 is 0F 80+cc).
+enum class CondCode : uint8_t {
+  O = 0x0,  ///< Overflow.
+  NO = 0x1, ///< Not overflow.
+  B = 0x2,  ///< Below (unsigned <).
+  AE = 0x3, ///< Above or equal (unsigned >=).
+  E = 0x4,  ///< Equal.
+  NE = 0x5, ///< Not equal.
+  BE = 0x6, ///< Below or equal (unsigned <=).
+  A = 0x7,  ///< Above (unsigned >).
+  S = 0x8,  ///< Sign.
+  NS = 0x9, ///< Not sign.
+  P = 0xa,  ///< Parity even.
+  NP = 0xb, ///< Parity odd.
+  L = 0xc,  ///< Less (signed <).
+  GE = 0xd, ///< Greater or equal (signed >=).
+  LE = 0xe, ///< Less or equal (signed <=).
+  G = 0xf,  ///< Greater (signed >).
+};
+
+/// Returns the condition testing the opposite of \p CC (E <-> NE, ...).
+inline CondCode invert(CondCode CC) {
+  return static_cast<CondCode>(static_cast<uint8_t>(CC) ^ 1);
+}
+
+/// Returns the mnemonic suffix ("e", "ne", ...) for \p CC.
+const char *condName(CondCode CC);
+
+/// A memory operand of the form [Base + Disp] or [Disp32] (absolute,
+/// used for globals placed by the mini linker).
+///
+/// The code generator materializes computed addresses (array indexing,
+/// pointer arithmetic) into registers, so scaled-index forms are not
+/// needed by the encoder; the *decoder* still understands full SIB forms
+/// because the gadget scanner decodes arbitrary bytes.
+struct Mem {
+  bool HasBase = false;
+  Reg Base = Reg::EAX;
+  int32_t Disp = 0;
+
+  /// Creates an absolute-address operand [Disp32].
+  static Mem abs(int32_t Disp) {
+    Mem M;
+    M.HasBase = false;
+    M.Disp = Disp;
+    return M;
+  }
+
+  /// Creates a register-relative operand [Base + Disp].
+  static Mem base(Reg Base, int32_t Disp = 0) {
+    Mem M;
+    M.HasBase = true;
+    M.Base = Base;
+    M.Disp = Disp;
+    return M;
+  }
+};
+
+} // namespace x86
+} // namespace pgsd
+
+#endif // PGSD_X86_X86_H

@@ -1,0 +1,121 @@
+//===-- tests/DisasmTest.cpp - Disassembler tests ---------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Disasm.h"
+#include "x86/Encoder.h"
+#include "x86/Nops.h"
+
+#include "codegen/Linker.h"
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+using namespace pgsd::x86;
+
+namespace {
+
+std::string disasm(std::initializer_list<uint8_t> Bytes) {
+  std::vector<uint8_t> V(Bytes);
+  return disassembleAt(V.data(), V.size());
+}
+
+} // namespace
+
+TEST(Disasm, CoreInstructions) {
+  EXPECT_EQ(disasm({0x90}), "nop");
+  EXPECT_EQ(disasm({0xC3}), "ret");
+  EXPECT_EQ(disasm({0xC9}), "leave");
+  EXPECT_EQ(disasm({0xC2, 0x08, 0x00}), "ret 0x8");
+  EXPECT_EQ(disasm({0x55}), "push ebp");
+  EXPECT_EQ(disasm({0x5B}), "pop ebx");
+  EXPECT_EQ(disasm({0x99}), "cdq");
+  EXPECT_EQ(disasm({0xCD, 0x80}), "int 0x80");
+  EXPECT_EQ(disasm({0xB8, 0x78, 0x56, 0x34, 0x12}), "mov eax, 0x12345678");
+  EXPECT_EQ(disasm({0x89, 0xE5}), "mov ebp, esp");
+  EXPECT_EQ(disasm({0x89, 0x03}), "mov [ebx], eax");
+  EXPECT_EQ(disasm({0x8B, 0x45, 0x08}), "mov eax, [ebp+0x8]");
+  EXPECT_EQ(disasm({0x8B, 0x45, 0xF8}), "mov eax, [ebp-0x8]");
+  EXPECT_EQ(disasm({0x8B, 0x04, 0x24}), "mov eax, [esp]");
+  EXPECT_EQ(disasm({0x8D, 0x44, 0x88, 0x04}), "lea eax, [eax+ecx*4+0x4]");
+  EXPECT_EQ(disasm({0x01, 0xC8}), "add eax, ecx");
+  EXPECT_EQ(disasm({0x83, 0xEC, 0x10}), "sub esp, 0x10");
+  EXPECT_EQ(disasm({0x39, 0xD8}), "cmp eax, ebx");
+  EXPECT_EQ(disasm({0x31, 0xC0}), "xor eax, eax");
+  EXPECT_EQ(disasm({0xF7, 0xF9}), "idiv ecx");
+  EXPECT_EQ(disasm({0xF7, 0xD8}), "neg eax");
+  EXPECT_EQ(disasm({0x0F, 0xAF, 0xC1}), "imul eax, ecx");
+  EXPECT_EQ(disasm({0x0F, 0xB6, 0xC0}), "movzx eax, al");
+  EXPECT_EQ(disasm({0x0F, 0x94, 0xC0}), "sete al");
+  EXPECT_EQ(disasm({0xC1, 0xE0, 0x02}), "shl eax, 0x2");
+  EXPECT_EQ(disasm({0xD3, 0xF8}), "sar eax, cl");
+  EXPECT_EQ(disasm({0x85, 0xC0}), "test eax, eax");
+  EXPECT_EQ(disasm({0xFF, 0xE0}), "jmp eax");
+  EXPECT_EQ(disasm({0xFF, 0xD2}), "call edx");
+}
+
+TEST(Disasm, Branches) {
+  // Relative targets render against the instruction start.
+  EXPECT_EQ(disasm({0xEB, 0x10}), "jmp $+0x12");
+  EXPECT_EQ(disasm({0x74, 0x05}), "je $+0x7");
+  EXPECT_EQ(disasm({0xE8, 0x00, 0x00, 0x00, 0x00}), "call $+0x5");
+  EXPECT_EQ(disasm({0xE9, 0xFB, 0xFF, 0xFF, 0xFF}), "jmp $+0x0");
+  EXPECT_EQ(disasm({0x0F, 0x85, 0x00, 0x01, 0x00, 0x00}), "jne $+0x106");
+  // A backward loop.
+  EXPECT_EQ(disasm({0xEB, 0xF0}), "jmp $-0xe");
+}
+
+TEST(Disasm, NopCandidatesRenderAsTheirMnemonics) {
+  EXPECT_EQ(disasm({0x89, 0xE4}), "mov esp, esp");
+  EXPECT_EQ(disasm({0x89, 0xED}), "mov ebp, ebp");
+  EXPECT_EQ(disasm({0x8D, 0x36}), "lea esi, [esi]");
+  EXPECT_EQ(disasm({0x8D, 0x3F}), "lea edi, [edi]");
+  EXPECT_EQ(disasm({0x87, 0xE4}), "xchg esp, esp");
+}
+
+TEST(Disasm, BadBytes) {
+  EXPECT_EQ(disasm({0xD6}), "(bad)");
+  EXPECT_EQ(disasm({0x0F, 0x0B}), "(bad)");
+  EXPECT_EQ(disasm({0xB8}), "(bad)"); // truncated
+}
+
+TEST(Disasm, RangeResynchronizes) {
+  // valid, invalid, valid: the listing must keep going.
+  std::vector<uint8_t> Bytes = {0x90, 0xD6, 0xC3};
+  auto Lines = disassembleRange(Bytes.data(), Bytes.size(), 0, 3);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_TRUE(Lines[0].Valid);
+  EXPECT_FALSE(Lines[1].Valid);
+  EXPECT_TRUE(Lines[2].Valid);
+  EXPECT_EQ(Lines[2].Text, "ret");
+}
+
+TEST(Disasm, WholeImageNeverCrashesAndMostlyDecodes) {
+  // Disassemble a real linked image end to end; everything the emitter
+  // produced must render as valid text.
+  driver::Program P = driver::compileProgram(
+      "global g[4]; fn f(a) { if (a > 2) { return a * 3; } "
+      "return g[a & 3]; } fn main() { return f(read_int()); }",
+      "img");
+  ASSERT_TRUE(P.OK);
+  codegen::Image Img = driver::linkBaseline(P);
+  auto Lines =
+      disassembleRange(Img.Text.data(), Img.Text.size(), 0,
+                       static_cast<uint32_t>(Img.Text.size()));
+  ASSERT_GT(Lines.size(), 50u);
+  unsigned Bad = 0;
+  for (const auto &L : Lines)
+    if (!L.Valid)
+      ++Bad;
+  EXPECT_EQ(Bad, 0u) << "emitted code must disassemble cleanly";
+  // Sanity: prologues and epilogues appear.
+  bool SawPrologue = false;
+  for (size_t I = 0; I + 1 < Lines.size(); ++I)
+    if (Lines[I].Text == "push ebp" && Lines[I + 1].Text == "mov ebp, esp")
+      SawPrologue = true;
+  EXPECT_TRUE(SawPrologue);
+}

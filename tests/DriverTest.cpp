@@ -1,0 +1,92 @@
+//===-- tests/DriverTest.cpp - Driver facade tests ---------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+
+TEST(Driver, ReportsFrontendErrors) {
+  driver::Program P =
+      driver::compileProgram("fn main() { return undeclared; }", "bad");
+  EXPECT_FALSE(P.OK);
+  EXPECT_NE(P.Errors.find("undeclared"), std::string::npos);
+}
+
+TEST(Driver, ReportsSyntaxErrorsWithLocations) {
+  driver::Program P =
+      driver::compileProgram("fn main() {\n  var x = ;\n}", "bad");
+  EXPECT_FALSE(P.OK);
+  EXPECT_NE(P.Errors.find("2:"), std::string::npos); // line number
+}
+
+TEST(Driver, ProfileAndStampFailsOnTrappingTrainingRun) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { return 1 / read_int(); }", "trap");
+  ASSERT_TRUE(P.OK);
+  EXPECT_FALSE(driver::profileAndStamp(P, {0})); // division by zero
+  EXPECT_FALSE(P.HasProfile);
+  EXPECT_TRUE(driver::profileAndStamp(P, {4}));
+  EXPECT_TRUE(P.HasProfile);
+}
+
+TEST(Driver, BaselineLinkIsDeterministic) {
+  driver::Program P = driver::compileProgram(
+      "global g[8]; fn main() { g[0] = 1; return g[0]; }", "det");
+  ASSERT_TRUE(P.OK);
+  codegen::Image A = driver::linkBaseline(P);
+  codegen::Image B = driver::linkBaseline(P);
+  EXPECT_EQ(A.Text, B.Text);
+  EXPECT_EQ(A.FuncOffsets, B.FuncOffsets);
+  EXPECT_EQ(A.GlobalAddrs, B.GlobalAddrs);
+}
+
+TEST(Driver, VariantIsDeterministicPerSeed) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var s = 0; var i = 0; while (i < 50) { s = s + i; "
+      "i = i + 1; } return s; }",
+      "var");
+  ASSERT_TRUE(P.OK);
+  auto Opts = diversity::DiversityOptions::uniform(0.5);
+  driver::Variant A = driver::makeVariant(P, Opts, 3);
+  driver::Variant B = driver::makeVariant(P, Opts, 3);
+  EXPECT_EQ(A.Image.Text, B.Image.Text);
+  EXPECT_EQ(A.Stats.NopsInserted, B.Stats.NopsInserted);
+}
+
+TEST(Driver, OutputCollectionIsOptIn) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { print_int(42); return 0; }", "out");
+  ASSERT_TRUE(P.OK);
+  mexec::RunResult Quiet = driver::execute(P.MIR, {}, false);
+  EXPECT_TRUE(Quiet.Output.empty());
+  mexec::RunResult Loud = driver::execute(P.MIR, {}, true);
+  EXPECT_EQ(Loud.Output, "42\n");
+  // The checksum observes the print either way.
+  EXPECT_EQ(Quiet.Checksum, Loud.Checksum);
+}
+
+TEST(Driver, UnoptimizedAndOptimizedShareInterface) {
+  const char *Source =
+      "fn main() { var x = 2 + 3; print_int(x * x); return 0; }";
+  driver::Program O2 = driver::compileProgram(Source, "o2", true);
+  driver::Program O0 = driver::compileProgram(Source, "o0", false);
+  ASSERT_TRUE(O2.OK);
+  ASSERT_TRUE(O0.OK);
+  // -O2 emits strictly less machine code for this program.
+  auto Count = [](const driver::Program &P) {
+    size_t N = 0;
+    for (const auto &F : P.MIR.Functions)
+      for (const auto &BB : F.Blocks)
+        N += BB.Instrs.size();
+    return N;
+  };
+  EXPECT_LT(Count(O2), Count(O0));
+  EXPECT_EQ(driver::execute(O2.MIR, {}, true).Output,
+            driver::execute(O0.MIR, {}, true).Output);
+}

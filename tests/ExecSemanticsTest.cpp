@@ -1,0 +1,386 @@
+//===-- tests/ExecSemanticsTest.cpp - End-to-end language semantics --------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Language-conformance suite: each case runs through the full pipeline
+// (parse -> IR -> optimize -> ISel -> machine interpreter) and checks
+// printed output and exit code. Every case also runs unoptimized and as
+// a NOP-diversified variant -- optimization and diversification must
+// never change observable behaviour (the central semantic-preservation
+// property of the paper's transformation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "diversity/NopInsertion.h"
+#include "driver/Driver.h"
+#include "frontend/Lower.h"
+#include "lir/ISel.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+
+namespace {
+
+struct Case {
+  const char *Name;
+  const char *Source;
+  std::vector<int32_t> Input;
+  const char *ExpectedOutput;
+  int32_t ExpectedExit;
+};
+
+std::ostream &operator<<(std::ostream &OS, const Case &C) {
+  return OS << C.Name;
+}
+
+const Case Cases[] = {
+    {"return-constant", "fn main() { return 7; }", {}, "", 7},
+    {"arithmetic",
+     "fn main() { print_int(2 + 3 * 4 - 5); print_int((2 + 3) * 4); "
+     "return 0; }",
+     {},
+     "9\n20\n",
+     0},
+    {"division-and-remainder",
+     "fn main() { print_int(17 / 5); print_int(17 % 5); "
+     "print_int((0 - 17) / 5); print_int((0 - 17) % 5); return 0; }",
+     {},
+     "3\n2\n-3\n-2\n", // x86 IDIV truncates toward zero
+     0},
+    {"unary-operators",
+     "fn main() { print_int(-5); print_int(!0); print_int(!3); "
+     "print_int(~0); return 0; }",
+     {},
+     "-5\n1\n0\n-1\n",
+     0},
+    {"comparisons",
+     "fn main() { print_int(1 < 2); print_int(2 <= 2); print_int(3 > 4); "
+     "print_int(4 >= 4); print_int(5 == 5); print_int(5 != 5); return 0; }",
+     {},
+     "1\n1\n0\n1\n1\n0\n",
+     0},
+    {"signed-comparison-negative",
+     "fn main() { print_int(0 - 1 < 1); print_int(0 - 2147483647 < 0); "
+     "return 0; }",
+     {},
+     "1\n1\n",
+     0},
+    {"bitwise",
+     "fn main() { print_int(12 & 10); print_int(12 | 10); "
+     "print_int(12 ^ 10); print_int(1 << 4); print_int(256 >> 3); "
+     "return 0; }",
+     {},
+     "8\n14\n6\n16\n32\n",
+     0},
+    {"arithmetic-shift-right",
+     "fn main() { print_int((0 - 16) >> 2); return 0; }",
+     {},
+     "-4\n", // SAR, not SHR
+     0},
+    {"shift-count-masked",
+     "fn main() { var n = 33; print_int(1 << n); return 0; }",
+     {},
+     "2\n", // IA-32 masks the count to 5 bits
+     0},
+    {"wrapping-multiply",
+     "fn main() { var big = 100000; print_int(big * big); return 0; }",
+     {},
+     "1410065408\n", // 10^10 mod 2^32
+     0},
+    {"short-circuit-and",
+     "fn check(x) { sink(x); return x; } "
+     "fn main() { print_int(0 && check(5)); print_int(2 && 3); return 0; }",
+     {},
+     "0\n1\n",
+     0},
+    {"short-circuit-or",
+     "fn main() { print_int(2 || 9); print_int(0 || 0); print_int(0 || 7); "
+     "return 0; }",
+     {},
+     "1\n0\n1\n",
+     0},
+    {"short-circuit-skips-effects",
+     // The call would print; && must not evaluate it.
+     "fn noisy() { print_int(999); return 1; } "
+     "fn main() { var r = 0 && noisy(); print_int(r); return 0; }",
+     {},
+     "0\n",
+     0},
+    {"if-else-chain",
+     "fn classify(x) { if (x < 0) { return 0 - 1; } else if (x == 0) "
+     "{ return 0; } else { return 1; } } "
+     "fn main() { print_int(classify(0 - 9)); print_int(classify(0)); "
+     "print_int(classify(9)); return 0; }",
+     {},
+     "-1\n0\n1\n",
+     0},
+    {"while-loop",
+     "fn main() { var s = 0; var i = 1; while (i <= 10) { s = s + i; "
+     "i = i + 1; } print_int(s); return 0; }",
+     {},
+     "55\n",
+     0},
+    {"for-loop",
+     "fn main() { var s = 0; for (var i = 0; i < 5; i = i + 1) "
+     "{ s = s + i * i; } print_int(s); return 0; }",
+     {},
+     "30\n",
+     0},
+    {"break-continue",
+     "fn main() { var s = 0; for (var i = 0; i < 100; i = i + 1) { "
+     "if (i % 2 == 0) { continue; } if (i > 10) { break; } s = s + i; } "
+     "print_int(s); return 0; }",
+     {},
+     "25\n", // 1+3+5+7+9
+     0},
+    {"nested-loops",
+     "fn main() { var s = 0; var i = 0; while (i < 4) { var j = 0; "
+     "while (j < 4) { s = s + i * j; j = j + 1; } i = i + 1; } "
+     "print_int(s); return 0; }",
+     {},
+     "36\n",
+     0},
+    {"recursion-factorial",
+     "fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } "
+     "fn main() { print_int(fact(10)); return 0; }",
+     {},
+     "3628800\n",
+     0},
+    {"recursion-mutual",
+     "fn isEven(n) { if (n == 0) { return 1; } return isOdd(n - 1); } "
+     "fn isOdd(n) { if (n == 0) { return 0; } return isEven(n - 1); } "
+     "fn main() { print_int(isEven(10)); print_int(isOdd(10)); return 0; }",
+     {},
+     "1\n0\n",
+     0},
+    {"many-parameters",
+     "fn sum6(a, b, c, d, e, f) { return a + b + c + d + e + f; } "
+     "fn main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }",
+     {},
+     "21\n",
+     0},
+    {"argument-evaluation-order",
+     // Arguments are evaluated left to right before the call.
+     "fn pair(a, b) { print_int(a); print_int(b); return 0; } "
+     "fn tick() { print_int(0 - 1); return 7; } "
+     "fn main() { pair(tick(), 2); return 0; }",
+     {},
+     "-1\n7\n2\n",
+     0},
+    {"local-array",
+     "fn main() { array a[5]; for (var i = 0; i < 5; i = i + 1) "
+     "{ a[i] = i * 10; } print_int(a[0] + a[4]); return 0; }",
+     {},
+     "40\n",
+     0},
+    {"global-scalar-and-array",
+     "global counter; global table[4] = { 5, 6, 7, 8 }; "
+     "fn bump() { counter = counter + 1; return counter; } "
+     "fn main() { bump(); bump(); print_int(counter); "
+     "print_int(table[0] + table[3]); return 0; }",
+     {},
+     "2\n13\n",
+     0},
+    {"globals-zero-initialized",
+     "global z[3]; fn main() { print_int(z[0] + z[1] + z[2]); return 0; }",
+     {},
+     "0\n",
+     0},
+    {"array-decay-to-pointer",
+     "fn sum(p, n) { var s = 0; for (var i = 0; i < n; i = i + 1) "
+     "{ s = s + p[i]; } return s; } "
+     "global g[3] = { 10, 20, 30 }; "
+     "fn main() { array a[2]; a[0] = 1; a[1] = 2; "
+     "print_int(sum(a, 2)); print_int(sum(g, 3)); return 0; }",
+     {},
+     "3\n60\n",
+     0},
+    {"write-through-pointer-param",
+     "fn fill(p, n, v) { for (var i = 0; i < n; i = i + 1) { p[i] = v; } "
+     "return 0; } "
+     "fn main() { array a[3]; fill(a, 3, 9); "
+     "print_int(a[0] + a[1] + a[2]); return 0; }",
+     {},
+     "27\n",
+     0},
+    {"read-input",
+     "fn main() { var a = read_int(); var b = read_int(); "
+     "print_int(a + b); print_int(input_len()); print_int(read_int()); "
+     "return 0; }",
+     {40, 2, 77},
+     "42\n1\n77\n",
+     0},
+    {"input-exhausted-returns-zero",
+     "fn main() { print_int(read_int()); print_int(read_int()); return 0; }",
+     {5},
+     "5\n0\n",
+     0},
+    {"print-char",
+     "fn main() { print_char('H'); print_char('i'); print_char('\\n'); "
+     "return 0; }",
+     {},
+     "Hi\n",
+     0},
+    {"implicit-return-zero",
+     "fn f() { var x = 1; sink(x); } fn main() { return f(); }", {}, "", 0},
+    {"dead-code-after-return",
+     "fn main() { return 3; print_int(1); }", {}, "", 3},
+    {"char-arithmetic",
+     "fn main() { print_char('a' + 1); print_char(10); return 0; }",
+     {},
+     "b\n",
+     0},
+    {"hex-literals",
+     "fn main() { print_int(0xFF); print_int(0x10 << 4); return 0; }",
+     {},
+     "255\n256\n",
+     0},
+    {"deep-expression",
+     "fn main() { print_int(((((1 + 2) * (3 + 4)) - 5) * 2) % 7); "
+     "return 0; }",
+     {},
+     "4\n",
+     0},
+    {"scoping-shadowing",
+     "fn main() { var x = 1; if (1) { var x = 2; print_int(x); } "
+     "print_int(x); return 0; }",
+     {},
+     "2\n1\n",
+     0},
+    {"loop-variable-scoping",
+     "fn main() { var s = 0; for (var i = 0; i < 3; i = i + 1) { s = s + i; }"
+     " for (var i = 10; i < 12; i = i + 1) { s = s + i; } print_int(s); "
+     "return 0; }",
+     {},
+     "24\n",
+     0},
+    {"gcd-euclid",
+     "fn gcd(a, b) { while (b != 0) { var t = a % b; a = b; b = t; } "
+     "return a; } "
+     "fn main() { print_int(gcd(1071, 462)); return 0; }",
+     {},
+     "21\n",
+     0},
+    {"collatz",
+     "fn main() { var n = 27; var steps = 0; while (n != 1) { "
+     "if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; } "
+     "steps = steps + 1; } print_int(steps); return 0; }",
+     {},
+     "111\n",
+     0},
+    {"int-min-edge",
+     // INT32_MIN via arithmetic; negation wraps back to itself.
+     "fn main() { var m = 1 << 31; print_int(m); print_int(0 - m); "
+     "return 0; }",
+     {},
+     "-2147483648\n-2147483648\n",
+     0},
+};
+
+} // namespace
+
+class SemanticsTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SemanticsTest, OptimizedPipeline) {
+  const Case &C = GetParam();
+  driver::Program P = driver::compileProgram(C.Source, C.Name);
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, C.Input, true);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.Output, C.ExpectedOutput);
+  EXPECT_EQ(R.ExitCode, C.ExpectedExit);
+}
+
+TEST_P(SemanticsTest, UnoptimizedPipelineAgrees) {
+  const Case &C = GetParam();
+  driver::Program P =
+      driver::compileProgram(C.Source, C.Name, /*Optimize=*/false);
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, C.Input, true);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.Output, C.ExpectedOutput);
+  EXPECT_EQ(R.ExitCode, C.ExpectedExit);
+}
+
+TEST_P(SemanticsTest, DiversifiedVariantAgrees) {
+  const Case &C = GetParam();
+  driver::Program P = driver::compileProgram(C.Source, C.Name);
+  ASSERT_TRUE(P.OK) << P.Errors;
+  auto Opts = diversity::DiversityOptions::uniform(0.5);
+  Opts.IncludeXchgNops = true; // exercise all seven candidates
+  driver::Variant V = driver::makeVariant(P, Opts, /*Seed=*/1234);
+  mexec::RunResult R = driver::execute(V.MIR, C.Input, true);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.Output, C.ExpectedOutput);
+  EXPECT_EQ(R.ExitCode, C.ExpectedExit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Language, SemanticsTest, ::testing::ValuesIn(Cases),
+                         [](const auto &Info) {
+                           std::string Name = Info.param.Name;
+                           for (char &Ch : Name)
+                             if (Ch == '-')
+                               Ch = '_';
+                           return Name;
+                         });
+
+TEST(ExecTraps, DivisionByZero) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var z = read_int(); return 1 / z; }", "divzero");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, {0});
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("division"), std::string::npos);
+}
+
+TEST(ExecTraps, DivisionOverflow) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var m = 1 << 31; var d = read_int(); return m / d; }",
+      "divovf");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, {-1});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(ExecTraps, WildStoreFaults) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { array a[1]; var i = read_int(); a[i] = 1; return 0; }",
+      "wild");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, {100000000});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(ExecTraps, RunawayRecursionOverflowsStack) {
+  driver::Program P = driver::compileProgram(
+      "fn f(n) { return f(n + 1); } fn main() { return f(0); }", "deep");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult R = driver::execute(P.MIR, {});
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(ExecTraps, InstructionBudget) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { while (1) { sink(1); } return 0; }", "spin");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunOptions Opts;
+  Opts.MaxSteps = 10000;
+  mexec::RunResult R = mexec::run(P.MIR, Opts);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("budget"), std::string::npos);
+}
+
+TEST(ExecDeterminism, ChecksumStableAcrossRuns) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var i = 0; while (i < 100) { sink(i * i); i = i + 1; } "
+      "return 0; }",
+      "det");
+  ASSERT_TRUE(P.OK) << P.Errors;
+  mexec::RunResult A = driver::execute(P.MIR, {});
+  mexec::RunResult B = driver::execute(P.MIR, {});
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Cycles10, B.Cycles10);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+}

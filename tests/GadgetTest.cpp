@@ -1,0 +1,277 @@
+//===-- tests/GadgetTest.cpp - Scanner / Survivor / attack tests ------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gadget/Attack.h"
+#include "gadget/Scanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+using namespace pgsd::gadget;
+
+namespace {
+
+std::vector<uint8_t> bytes(std::initializer_list<uint8_t> L) { return L; }
+
+bool hasGadgetAt(const std::vector<Gadget> &Gadgets, uint32_t Offset) {
+  for (const Gadget &G : Gadgets)
+    if (G.Offset == Offset)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Scanner, FindsRetTerminatedSequences) {
+  // mov eax, 5; pop ebx; ret
+  auto Text = bytes({0xB8, 5, 0, 0, 0, 0x5B, 0xC3});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 0)); // whole sequence
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 5)); // pop ebx; ret
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 6)); // bare ret
+}
+
+TEST(Scanner, MisalignedDecodingsFound) {
+  // The classic x86 phenomenon: decoding from the middle of an
+  // instruction yields different, valid instructions. B8 5B C3 .. ..:
+  // from offset 1 it is pop ebx; ret.
+  auto Text = bytes({0xB8, 0x5B, 0xC3, 0x11, 0x22});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 1));
+  EXPECT_FALSE(hasGadgetAt(Gadgets, 0)); // mov eax, imm32 eats the ret
+}
+
+TEST(Scanner, RejectsInterveningControlFlow) {
+  // jmp rel8; ret: the direct jump disqualifies the sequence from
+  // offset 0, but offset 2 (bare ret) is a gadget.
+  auto Text = bytes({0xEB, 0x00, 0xC3});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  EXPECT_FALSE(hasGadgetAt(Gadgets, 0));
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 2));
+}
+
+TEST(Scanner, RejectsPrivilegedInstructions) {
+  // in al, imm8; ret -- IN faults outside ring 0 (the paper's NOP
+  // second-byte rationale), so no gadget starts at 0.
+  auto Text = bytes({0xE4, 0x10, 0xC3});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  EXPECT_FALSE(hasGadgetAt(Gadgets, 0));
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 2));
+}
+
+TEST(Scanner, IndirectBranchesTerminate) {
+  // pop ecx; jmp eax  /  pop ecx; call edx
+  auto Text = bytes({0x59, 0xFF, 0xE0, 0x59, 0xFF, 0xD2});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 0));
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 3));
+}
+
+TEST(Scanner, WindowLimitRespected) {
+  // Nine single-byte instructions then ret: with MaxInstrs = 8 the
+  // sequence from offset 0 has no terminator inside the window.
+  std::vector<uint8_t> Text(9, 0x90);
+  Text.push_back(0xC3);
+  ScanOptions Opts;
+  Opts.MaxInstrs = 8;
+  auto Gadgets = scanGadgets(Text.data(), Text.size(), Opts);
+  EXPECT_FALSE(hasGadgetAt(Gadgets, 0));
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 2));
+  Opts.MaxInstrs = 12;
+  Gadgets = scanGadgets(Text.data(), Text.size(), Opts);
+  EXPECT_TRUE(hasGadgetAt(Gadgets, 0));
+}
+
+TEST(Scanner, SyscallTerminatorsOptIn) {
+  auto Text = bytes({0x5B, 0xCD, 0x80});
+  ScanOptions Default;
+  EXPECT_FALSE(hasGadgetAt(
+      scanGadgets(Text.data(), Text.size(), Default), 0));
+  ScanOptions WithSyscalls;
+  WithSyscalls.IncludeSyscallGadgets = true;
+  EXPECT_TRUE(hasGadgetAt(
+      scanGadgets(Text.data(), Text.size(), WithSyscalls), 0));
+}
+
+TEST(Survivor, IdenticalImagesAllSurvive) {
+  auto Text = bytes({0xB8, 5, 0, 0, 0, 0x5B, 0xC3, 0x89, 0xD8, 0xC3});
+  auto Gadgets = scanGadgets(Text.data(), Text.size());
+  auto Survivors = survivingGadgets(Text, Text);
+  EXPECT_EQ(Survivors.size(), Gadgets.size());
+}
+
+TEST(Survivor, DisplacedGadgetDoesNotSurvive) {
+  // Original: pop ebx; ret at offset 2. Diversified: a NOP shifted it.
+  auto Original = bytes({0x89, 0xC8, 0x5B, 0xC3}); // mov eax,ecx; pop; ret
+  auto Diversified =
+      bytes({0x90, 0x89, 0xC8, 0x5B, 0xC3}); // nop; mov; pop; ret
+  auto Survivors = survivingGadgets(Original, Diversified);
+  // Offset 2 in the diversified image is the middle of mov eax, ecx;
+  // nothing matches at the original offsets.
+  for (const SurvivingGadget &S : Survivors)
+    EXPECT_NE(S.Offset, 2u);
+}
+
+TEST(Survivor, NopNormalizationDetectsEquivalence) {
+  // Same gadget content at the same offset, but the diversified version
+  // has a Table 1 NOP inside. Survivor must normalize it away and count
+  // the gadget as surviving (conservative overestimate).
+  auto Original = bytes({0x89, 0xC8, 0x90, 0x5B, 0xC3});
+  auto Diversified = bytes({0x89, 0xC8, 0x89, 0xE4, 0x5B, 0xC3});
+  // Both offset-0 sequences normalize to mov eax,ecx; pop ebx; ret.
+  auto Survivors = survivingGadgets(Original, Diversified);
+  bool Found = false;
+  for (const SurvivingGadget &S : Survivors)
+    if (S.Offset == 0)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Survivor, DifferentContentDoesNotSurvive) {
+  auto Original = bytes({0x89, 0xC8, 0xC3});    // mov eax, ecx; ret
+  auto Diversified = bytes({0x89, 0xD8, 0xC3}); // mov eax, ebx; ret
+  auto Survivors = survivingGadgets(Original, Diversified);
+  for (const SurvivingGadget &S : Survivors)
+    EXPECT_NE(S.Offset, 0u);
+}
+
+TEST(Survivor, NormalizedHashIgnoresAllNopKinds) {
+  // A buffer of every Table 1 NOP followed by ret hashes identically to
+  // a bare ret.
+  auto WithNops =
+      bytes({0x90, 0x89, 0xE4, 0x89, 0xED, 0x8D, 0x36, 0x8D, 0x3F, 0xC3});
+  auto Bare = bytes({0xC3});
+  ScanOptions Opts;
+  Opts.MaxInstrs = 12;
+  uint64_t H1, H2;
+  unsigned N1, N2;
+  ASSERT_TRUE(
+      normalizedGadgetHash(WithNops.data(), WithNops.size(), 0, Opts, H1, N1));
+  ASSERT_TRUE(normalizedGadgetHash(Bare.data(), Bare.size(), 0, Opts, H2, N2));
+  EXPECT_EQ(H1, H2);
+  EXPECT_EQ(N1, 1u); // only the ret remains
+}
+
+TEST(Survivor, RealMovNotStripped) {
+  // 89 E4 is a NOP only as a whole instruction; 89 E4 as part of a
+  // longer instruction must not be stripped. Use mov [esp+8], eax
+  // (89 44 24 08): starts with 89 but is 4 bytes.
+  auto A = bytes({0x89, 0x44, 0x24, 0x08, 0xC3});
+  auto B = bytes({0xC3});
+  ScanOptions Opts;
+  uint64_t H1, H2;
+  unsigned N1, N2;
+  ASSERT_TRUE(normalizedGadgetHash(A.data(), A.size(), 0, Opts, H1, N1));
+  ASSERT_TRUE(normalizedGadgetHash(B.data(), B.size(), 0, Opts, H2, N2));
+  EXPECT_NE(H1, H2);
+  EXPECT_EQ(N1, 2u);
+}
+
+TEST(MultiVersion, ThresholdCounting) {
+  // Three versions; gadget X at offset 0 in all three, gadget Y at
+  // offset 3 in two, gadget Z at offset 6 in one.
+  auto V1 = bytes({0x5B, 0xC3, 0x90, 0x58, 0xC3, 0x90, 0x59, 0xC3});
+  auto V2 = bytes({0x5B, 0xC3, 0x90, 0x58, 0xC3, 0x90, 0x90, 0x90});
+  auto V3 = bytes({0x5B, 0xC3, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90});
+  auto Counts = gadgetsInAtLeast({V1, V2, V3}, {1, 2, 3});
+  ASSERT_EQ(Counts.size(), 3u);
+  EXPECT_GE(Counts[0], 3u); // X, Y, Z (at least; sub-sequences too)
+  EXPECT_GE(Counts[1], 2u); // X, Y
+  EXPECT_GE(Counts[2], 1u); // X
+  EXPECT_LT(Counts[2], Counts[1] + 1);
+  EXPECT_LE(Counts[1], Counts[0]);
+}
+
+TEST(MultiVersion, MonotoneInThreshold) {
+  auto V1 = bytes({0x5B, 0xC3, 0x58, 0xC3});
+  auto V2 = bytes({0x90, 0x5B, 0xC3, 0x58});
+  auto Counts = gadgetsInAtLeast({V1, V2}, {1, 2});
+  EXPECT_GE(Counts[0], Counts[1]);
+}
+
+// --- attack classification -------------------------------------------
+
+TEST(Attack, ClassifiesPayloadGadgets) {
+  // pop edx; ret | mov [ebx], eax; ret | mov eax, ecx; ret |
+  // add ebx, eax; ret | int 0x80
+  auto Text = bytes({0x5A, 0xC3, 0x89, 0x03, 0xC3, 0x89, 0xC8, 0xC3, 0x01,
+                     0xC3, 0xC3, 0xCD, 0x80});
+  auto Gadgets = classifyGadgets(Text.data(), Text.size());
+  auto Find = [&](uint32_t Offset) -> const ClassifiedGadget * {
+    for (const auto &G : Gadgets)
+      if (G.Offset == Offset)
+        return &G;
+    return nullptr;
+  };
+  ASSERT_NE(Find(0), nullptr);
+  EXPECT_EQ(Find(0)->Class, GadgetClass::PopReg);
+  EXPECT_EQ(Find(0)->Dst, 2); // EDX
+  ASSERT_NE(Find(2), nullptr);
+  EXPECT_EQ(Find(2)->Class, GadgetClass::StoreMem);
+  ASSERT_NE(Find(5), nullptr);
+  EXPECT_EQ(Find(5)->Class, GadgetClass::MoveReg);
+  ASSERT_NE(Find(8), nullptr);
+  EXPECT_EQ(Find(8)->Class, GadgetClass::ArithReg);
+  ASSERT_NE(Find(11), nullptr);
+  EXPECT_EQ(Find(11)->Class, GadgetClass::Syscall);
+}
+
+TEST(Attack, FeasibilityRequiresAllOperations) {
+  // pops for eax/ebx/ecx/edx + store + syscall = feasible.
+  auto Full = bytes({0x58, 0xC3, 0x5B, 0xC3, 0x59, 0xC3, 0x5A, 0xC3, 0x89,
+                     0x03, 0xC3, 0xCD, 0x80});
+  auto Outcome = checkAttackOnImage(Full, AttackModel::RopGadget);
+  EXPECT_TRUE(Outcome.Feasible) << Outcome.Missing;
+
+  // Remove the syscall: infeasible.
+  auto NoSyscall = bytes({0x58, 0xC3, 0x5B, 0xC3, 0x59, 0xC3, 0x5A, 0xC3,
+                          0x89, 0x03, 0xC3});
+  Outcome = checkAttackOnImage(NoSyscall, AttackModel::RopGadget);
+  EXPECT_FALSE(Outcome.Feasible);
+  EXPECT_NE(Outcome.Missing.find("syscall"), std::string::npos);
+
+  // Remove the store: infeasible.
+  auto NoStore =
+      bytes({0x58, 0xC3, 0x5B, 0xC3, 0x59, 0xC3, 0x5A, 0xC3, 0xCD, 0x80});
+  Outcome = checkAttackOnImage(NoStore, AttackModel::RopGadget);
+  EXPECT_FALSE(Outcome.Feasible);
+  EXPECT_NE(Outcome.Missing.find("store"), std::string::npos);
+}
+
+TEST(Attack, MoveClosureSubstitutesForMissingPop) {
+  // No pop edx, but pop eax + mov edx, eax (89 C2) covers EDX.
+  auto Text = bytes({0x58, 0xC3, 0x5B, 0xC3, 0x59, 0xC3, 0x89, 0xC2, 0xC3,
+                     0x89, 0x03, 0xC3, 0xCD, 0x80});
+  auto Outcome = checkAttackOnImage(Text, AttackModel::RopGadget);
+  EXPECT_TRUE(Outcome.Feasible) << Outcome.Missing;
+}
+
+TEST(Attack, MicrogadgetModelRejectsLongGadgets) {
+  // A 7-byte pop gadget (pop eax padded with a mov reg,imm... keep it
+  // simple: pop eax; mov ebx, imm32; ret = 1 + 5 + 1 bytes).
+  auto Text = bytes({0x58, 0xBB, 1, 0, 0, 0, 0xC3,  // long EAX control
+                     0x5B, 0xC3, 0x59, 0xC3, 0x5A, 0xC3, 0x89, 0x03, 0xC3,
+                     0xCD, 0x80});
+  auto Rop = checkAttackOnImage(Text, AttackModel::RopGadget);
+  auto Micro = checkAttackOnImage(Text, AttackModel::Microgadget);
+  // The ROPgadget model accepts multi-instruction bodies? Ours requires
+  // single-op bodies, so the long gadget contributes nothing for either
+  // model; EAX control is missing from both.
+  EXPECT_FALSE(Micro.Feasible);
+  EXPECT_NE(Micro.Missing.find("EAX"), std::string::npos);
+  (void)Rop;
+}
+
+TEST(Attack, FilterToSurvivors) {
+  auto Text = bytes({0x58, 0xC3, 0x5B, 0xC3});
+  auto Gadgets = classifyGadgets(Text.data(), Text.size());
+  std::vector<SurvivingGadget> Survivors = {{0, 0}};
+  auto Filtered = filterToSurvivors(Gadgets, Survivors);
+  for (const auto &G : Filtered)
+    EXPECT_EQ(G.Offset, 0u);
+  EXPECT_LT(Filtered.size(), Gadgets.size());
+}

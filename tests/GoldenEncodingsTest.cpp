@@ -1,0 +1,166 @@
+//===-- tests/GoldenEncodingsTest.cpp - Golden IA-32 encodings --------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Table-driven sweep pinning (length, class, rendered text) for a broad
+// set of IA-32 encodings, cross-checked against GNU assembler output.
+// This is the contract the gadget scanner and Survivor depend on: any
+// change in decode length or classification shifts gadget counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "x86/Decoder.h"
+#include "x86/Disasm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pgsd;
+using namespace pgsd::x86;
+
+namespace {
+
+struct Golden {
+  const char *Name;
+  std::vector<uint8_t> Bytes;
+  uint8_t Length;            ///< 0 = must not decode.
+  InstrClass Class;
+  const char *Text;          ///< nullptr = don't check rendering.
+};
+
+std::ostream &operator<<(std::ostream &OS, const Golden &G) {
+  return OS << G.Name;
+}
+
+const Golden Cases[] = {
+    // Stack and frame idioms.
+    {"push_ebp", {0x55}, 1, InstrClass::Normal, "push ebp"},
+    {"mov_ebp_esp", {0x89, 0xE5}, 2, InstrClass::Normal, "mov ebp, esp"},
+    {"sub_esp_imm8", {0x83, 0xEC, 0x1C}, 3, InstrClass::Normal,
+     "sub esp, 0x1c"},
+    {"sub_esp_imm32", {0x81, 0xEC, 0x00, 0x01, 0x00, 0x00}, 6,
+     InstrClass::Normal, "sub esp, 0x100"},
+    {"leave", {0xC9}, 1, InstrClass::Normal, "leave"},
+    {"ret", {0xC3}, 1, InstrClass::Ret, "ret"},
+    {"ret_imm", {0xC2, 0x0C, 0x00}, 3, InstrClass::RetImm, "ret 0xc"},
+    {"pusha", {0x60}, 1, InstrClass::Normal, "pusha"},
+    {"pushf", {0x9C}, 1, InstrClass::Normal, "pushf"},
+    // Moves.
+    {"mov_r_imm", {0xBF, 0x01, 0x00, 0x00, 0x00}, 5, InstrClass::Normal,
+     "mov edi, 0x1"},
+    {"mov_r8_imm", {0xB1, 0x7F}, 2, InstrClass::Normal, "mov cl, 0x7f"},
+    {"mov_abs_load", {0xA1, 0x44, 0x33, 0x22, 0x11}, 5, InstrClass::Normal,
+     "mov eax, [0x11223344]"},
+    {"mov_disp32_store", {0x89, 0x15, 0x00, 0x00, 0x10, 0x00}, 6,
+     InstrClass::Normal, "mov [0x100000], edx"},
+    {"mov_sib_full", {0x8B, 0x44, 0x8B, 0x04}, 4, InstrClass::Normal,
+     "mov eax, [ebx+ecx*4+0x4]"},
+    {"mov_sib_scale8", {0x8B, 0x04, 0xCB}, 3, InstrClass::Normal,
+     "mov eax, [ebx+ecx*8]"},
+    {"mov_sib_nobase", {0x8B, 0x04, 0x8D, 0x10, 0x00, 0x00, 0x00}, 7,
+     InstrClass::Normal, "mov eax, [ecx*4+0x10]"},
+    {"mov_store_imm", {0xC7, 0x45, 0xFC, 0x2A, 0, 0, 0}, 7,
+     InstrClass::Normal, "mov [ebp-0x4], 0x2a"},
+    // ALU.
+    {"add_rr", {0x01, 0xD8}, 2, InstrClass::Normal, "add eax, ebx"},
+    {"adc_rr", {0x11, 0xC8}, 2, InstrClass::Normal, "adc eax, ecx"},
+    {"sbb_rr", {0x19, 0xC8}, 2, InstrClass::Normal, "sbb eax, ecx"},
+    {"xor_self", {0x31, 0xC0}, 2, InstrClass::Normal, "xor eax, eax"},
+    {"cmp_eax_imm", {0x3D, 0x10, 0x27, 0x00, 0x00}, 5, InstrClass::Normal,
+     "cmp eax, 0x2710"},
+    {"and_al_imm", {0x24, 0x0F}, 2, InstrClass::Normal, "and al, 0xf"},
+    {"inc_r", {0x41}, 1, InstrClass::Normal, "inc ecx"},
+    {"dec_r", {0x4A}, 1, InstrClass::Normal, "dec edx"},
+    {"neg", {0xF7, 0xDB}, 2, InstrClass::Normal, "neg ebx"},
+    {"mul", {0xF7, 0xE1}, 2, InstrClass::Normal, "mul ecx"},
+    {"imul_2op", {0x0F, 0xAF, 0xC3}, 3, InstrClass::Normal,
+     "imul eax, ebx"},
+    {"imul_3op", {0x69, 0xC0, 0x64, 0, 0, 0}, 6, InstrClass::Normal,
+     "imul eax, eax, 0x64"},
+    {"imul_3op_imm8", {0x6B, 0xC0, 0x0A}, 3, InstrClass::Normal,
+     "imul eax, eax, 0xa"},
+    {"shl_imm", {0xC1, 0xE2, 0x04}, 3, InstrClass::Normal, "shl edx, 0x4"},
+    {"shr_1", {0xD1, 0xE8}, 2, InstrClass::Normal, "shr eax, 1"},
+    {"sar_cl", {0xD3, 0xF8}, 2, InstrClass::Normal, "sar eax, cl"},
+    {"rol_imm", {0xC1, 0xC0, 0x03}, 3, InstrClass::Normal, "rol eax, 0x3"},
+    {"not", {0xF7, 0xD0}, 2, InstrClass::Normal, "not eax"},
+    {"test_rm_imm", {0xF7, 0xC2, 1, 0, 0, 0}, 6, InstrClass::Normal,
+     "test edx, 0x1"},
+    {"bswap", {0x0F, 0xC9}, 2, InstrClass::Normal, "bswap ecx"},
+    {"movsx", {0x0F, 0xBE, 0xC0}, 3, InstrClass::Normal, "movsx eax, al"},
+    {"cmovne", {0x0F, 0x45, 0xC1}, 3, InstrClass::Normal,
+     "cmovne eax, ecx"},
+    // Control flow.
+    {"jmp_short", {0xEB, 0x05}, 2, InstrClass::JmpRel, "jmp $+0x7"},
+    {"jmp_near", {0xE9, 0x00, 0x01, 0x00, 0x00}, 5, InstrClass::JmpRel,
+     "jmp $+0x105"},
+    {"call_near", {0xE8, 0xFB, 0xFF, 0xFF, 0xFF}, 5, InstrClass::CallRel,
+     "call $+0x0"},
+    {"jle_short", {0x7E, 0xF0}, 2, InstrClass::Jcc, "jle $-0xe"},
+    {"jb_near", {0x0F, 0x82, 4, 0, 0, 0}, 6, InstrClass::Jcc, "jb $+0xa"},
+    {"loop", {0xE2, 0xFE}, 2, InstrClass::Loop, "loop $+0x0"},
+    {"call_ind_reg", {0xFF, 0xD6}, 2, InstrClass::CallInd, "call esi"},
+    {"call_ind_mem", {0xFF, 0x52, 0x04}, 3, InstrClass::CallInd,
+     "call [edx+0x4]"},
+    {"jmp_ind_mem", {0xFF, 0x24, 0x24}, 3, InstrClass::JmpInd,
+     "jmp [esp]"},
+    {"int80", {0xCD, 0x80}, 2, InstrClass::IntN, "int 0x80"},
+    {"int3", {0xCC}, 1, InstrClass::IntN, "int3"},
+    {"sysenter", {0x0F, 0x34}, 2, InstrClass::IntN, "sysenter"},
+    {"retf", {0xCB}, 1, InstrClass::RetFar, "retf"},
+    // String ops and misc.
+    {"rep_movsd", {0xF3, 0xA5}, 2, InstrClass::Normal, nullptr},
+    {"stosd", {0xAB}, 1, InstrClass::Normal, "stosd"},
+    {"xlat", {0xD7}, 1, InstrClass::Normal, "xlat"},
+    {"cpuid", {0x0F, 0xA2}, 2, InstrClass::Normal, "cpuid"},
+    {"rdtsc", {0x0F, 0x31}, 2, InstrClass::Normal, "rdtsc"},
+    {"setg", {0x0F, 0x9F, 0xC2}, 3, InstrClass::Normal, "setg dl"},
+    {"xchg_eax_r", {0x93}, 1, InstrClass::Normal, "xchg eax, ebx"},
+    // Privileged.
+    {"in_al_imm", {0xE4, 0x60}, 2, InstrClass::Privileged, nullptr},
+    {"in_eax_dx", {0xED}, 1, InstrClass::Privileged, nullptr},
+    {"out_dx_al", {0xEE}, 1, InstrClass::Privileged, nullptr},
+    {"hlt", {0xF4}, 1, InstrClass::Privileged, "hlt"},
+    {"cli", {0xFA}, 1, InstrClass::Privileged, "cli"},
+    {"wrmsr", {0x0F, 0x30}, 2, InstrClass::Privileged, nullptr},
+    {"mov_cr0", {0x0F, 0x22, 0xC0}, 3, InstrClass::Privileged, nullptr},
+    // Invalid encodings.
+    {"salc", {0xD6}, 0, InstrClass::Invalid, nullptr},
+    {"ud2", {0x0F, 0x0B}, 0, InstrClass::Invalid, nullptr},
+    {"lea_reg_form", {0x8D, 0xC0}, 0, InstrClass::Invalid, nullptr},
+    {"les_reg_form", {0xC4, 0xC0}, 0, InstrClass::Invalid, nullptr},
+    {"group5_7", {0xFF, 0xF8}, 0, InstrClass::Invalid, nullptr},
+    {"truncated_imm", {0x68, 0x01, 0x02}, 0, InstrClass::Invalid, nullptr},
+    // Prefixed forms.
+    {"op16_mov_imm", {0x66, 0xB8, 0x34, 0x12}, 4, InstrClass::Normal,
+     nullptr},
+    {"gs_load", {0x65, 0x8B, 0x00}, 3, InstrClass::Normal, nullptr},
+    {"lock_add", {0xF0, 0x01, 0x03}, 3, InstrClass::Normal, nullptr},
+};
+
+} // namespace
+
+class GoldenEncodingTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenEncodingTest, DecodesAsExpected) {
+  const Golden &G = GetParam();
+  Decoded D;
+  bool OK = decodeInstr(G.Bytes.data(), G.Bytes.size(), D);
+  if (G.Length == 0) {
+    EXPECT_FALSE(OK);
+    return;
+  }
+  ASSERT_TRUE(OK);
+  EXPECT_EQ(D.Length, G.Length);
+  EXPECT_EQ(D.Class, G.Class);
+  if (G.Text) {
+    EXPECT_EQ(disassemble(G.Bytes.data(), D), G.Text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(X86, GoldenEncodingTest, ::testing::ValuesIn(Cases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });

@@ -1,0 +1,167 @@
+//===-- tests/InterpTest.cpp - Machine interpreter unit tests ---------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Direct MIR-level tests of the execution engine: EFLAGS condition-code
+// evaluation (all 16 codes over signed/unsigned boundary operands),
+// IA-32 arithmetic corner cases, and the cost accounting the Figure 4
+// experiment depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mexec/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+using namespace pgsd::mir;
+using x86::CondCode;
+using x86::Reg;
+
+namespace {
+
+/// Builds `main() { eax = A; cmp eax, B; setCC al; movzx; ret }` by hand.
+MModule cmpProgram(int32_t A, int32_t B, CondCode CC) {
+  MModule M;
+  M.EntryFunction = 0;
+  MFunction F;
+  F.Name = "main";
+  MBasicBlock BB;
+  auto Emit = [&](MOp Op) -> MInstr & {
+    BB.Instrs.emplace_back();
+    BB.Instrs.back().Op = Op;
+    return BB.Instrs.back();
+  };
+  {
+    MInstr &I = Emit(MOp::MovRI);
+    I.Dst = Reg::EAX;
+    I.Imm = A;
+  }
+  {
+    MInstr &I = Emit(MOp::AluRI);
+    I.Alu = x86::AluOp::Cmp;
+    I.Dst = Reg::EAX;
+    I.Imm = B;
+  }
+  {
+    MInstr &I = Emit(MOp::Setcc);
+    I.CC = CC;
+    I.Dst = Reg::EAX;
+  }
+  {
+    MInstr &I = Emit(MOp::Movzx8);
+    I.Dst = Reg::EAX;
+    I.Src = Reg::EAX;
+  }
+  Emit(MOp::Ret);
+  F.Blocks.push_back(std::move(BB));
+  M.Functions.push_back(std::move(F));
+  return M;
+}
+
+bool evalCC(int32_t A, int32_t B, CondCode CC) {
+  mexec::RunResult R = mexec::run(cmpProgram(A, B, CC), {});
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_TRUE(R.ExitCode == 0 || R.ExitCode == 1);
+  return R.ExitCode == 1;
+}
+
+} // namespace
+
+TEST(InterpFlags, SignedComparisons) {
+  EXPECT_TRUE(evalCC(1, 2, CondCode::L));
+  EXPECT_FALSE(evalCC(2, 1, CondCode::L));
+  EXPECT_TRUE(evalCC(-1, 1, CondCode::L));
+  EXPECT_TRUE(evalCC(2, 1, CondCode::G));
+  EXPECT_FALSE(evalCC(-5, -2, CondCode::G));
+  EXPECT_TRUE(evalCC(3, 3, CondCode::LE));
+  EXPECT_TRUE(evalCC(3, 3, CondCode::GE));
+  EXPECT_FALSE(evalCC(3, 4, CondCode::GE));
+}
+
+TEST(InterpFlags, UnsignedComparisons) {
+  // -1 is 0xFFFFFFFF: above everything, below nothing.
+  EXPECT_FALSE(evalCC(-1, 1, CondCode::B));
+  EXPECT_TRUE(evalCC(-1, 1, CondCode::A));
+  EXPECT_TRUE(evalCC(1, -1, CondCode::B));
+  EXPECT_TRUE(evalCC(5, 5, CondCode::AE));
+  EXPECT_TRUE(evalCC(5, 5, CondCode::BE));
+  EXPECT_FALSE(evalCC(6, 5, CondCode::BE));
+}
+
+TEST(InterpFlags, EqualityAndSign) {
+  EXPECT_TRUE(evalCC(7, 7, CondCode::E));
+  EXPECT_FALSE(evalCC(7, 8, CondCode::E));
+  EXPECT_TRUE(evalCC(7, 8, CondCode::NE));
+  // SF of A - B.
+  EXPECT_TRUE(evalCC(1, 2, CondCode::S));
+  EXPECT_FALSE(evalCC(2, 1, CondCode::S));
+  EXPECT_TRUE(evalCC(2, 1, CondCode::NS));
+}
+
+TEST(InterpFlags, OverflowBoundary) {
+  // INT_MIN - 1 overflows: signed comparison must still be correct
+  // (that is the whole point of the SF != OF rule).
+  EXPECT_TRUE(evalCC(INT32_MIN, 1, CondCode::L));
+  EXPECT_TRUE(evalCC(INT32_MAX, -1, CondCode::G));
+  EXPECT_TRUE(evalCC(INT32_MIN, INT32_MAX, CondCode::L));
+  EXPECT_TRUE(evalCC(INT32_MAX, INT32_MIN, CondCode::G));
+  // O/NO directly observe the overflow flag.
+  EXPECT_TRUE(evalCC(INT32_MIN, 1, CondCode::O));
+  EXPECT_FALSE(evalCC(5, 1, CondCode::O));
+  EXPECT_TRUE(evalCC(5, 1, CondCode::NO));
+}
+
+TEST(InterpFlags, ParityOfLowByte) {
+  // 3 - 0 = 3 (two bits set -> even parity); 2 - 0 = 2 (odd parity).
+  EXPECT_TRUE(evalCC(3, 0, CondCode::P));
+  EXPECT_FALSE(evalCC(2, 0, CondCode::P));
+  EXPECT_TRUE(evalCC(2, 0, CondCode::NP));
+}
+
+TEST(InterpCost, NopsAccumulateExactly) {
+  // Insert N NOPs into a straight-line program; the cycle delta must be
+  // exactly N * Costs.Nop (the mechanism behind Figure 4).
+  auto Build = [&](unsigned NumNops) {
+    MModule M = cmpProgram(1, 2, CondCode::L);
+    auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+    for (unsigned I = 0; I != NumNops; ++I) {
+      MInstr Nop;
+      Nop.Op = MOp::Nop;
+      Nop.NopK = x86::NopKind::MovEspEsp;
+      Instrs.insert(Instrs.begin(), Nop);
+    }
+    return M;
+  };
+  mexec::RunOptions Opts;
+  uint64_t Base = mexec::run(Build(0), Opts).Cycles10;
+  uint64_t With = mexec::run(Build(10), Opts).Cycles10;
+  EXPECT_EQ(With - Base, 10 * Opts.Costs.Nop);
+
+  // The XCHG NOPs must cost their bus-lock premium.
+  MModule M = cmpProgram(1, 2, CondCode::L);
+  MInstr Xchg;
+  Xchg.Op = MOp::Nop;
+  Xchg.NopK = x86::NopKind::XchgEspEsp;
+  M.Functions[0].Blocks[0].Instrs.insert(
+      M.Functions[0].Blocks[0].Instrs.begin(), Xchg);
+  EXPECT_EQ(mexec::run(M, Opts).Cycles10 - Base, Opts.Costs.XchgNop);
+}
+
+TEST(InterpCost, CustomCostModelRespected) {
+  MModule M = cmpProgram(1, 2, CondCode::L);
+  mexec::RunOptions Cheap;
+  Cheap.Costs = mexec::CostModel();
+  mexec::RunOptions Pricey;
+  Pricey.Costs = mexec::CostModel();
+  Pricey.Costs.Alu *= 10;
+  Pricey.Costs.MovRI *= 10;
+  EXPECT_GT(mexec::run(M, Pricey).Cycles10, mexec::run(M, Cheap).Cycles10);
+}
+
+TEST(InterpState, InstructionCountExact) {
+  // cmpProgram executes exactly 5 instructions.
+  mexec::RunResult R = mexec::run(cmpProgram(0, 0, CondCode::E), {});
+  EXPECT_EQ(R.Instructions, 5u);
+}

@@ -1,0 +1,263 @@
+//===-- tests/PassesTest.cpp - IR optimization pass tests -------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+#include "ir/IR.h"
+#include "passes/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+using namespace pgsd::ir;
+
+namespace {
+
+Module compile(const char *Source) {
+  std::vector<frontend::Diag> Diags;
+  Module M = frontend::compileToIR(Source, "test", Diags);
+  EXPECT_TRUE(Diags.empty()) << frontend::formatDiags(Diags);
+  EXPECT_EQ(verify(M), "");
+  return M;
+}
+
+unsigned countInstrs(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Instr &I : BB.Instrs)
+      if (I.Op == Op)
+        ++N;
+  return N;
+}
+
+unsigned totalInstrs(const Function &F) {
+  unsigned N = 0;
+  for (const BasicBlock &BB : F.Blocks)
+    N += static_cast<unsigned>(BB.Instrs.size());
+  return N;
+}
+
+} // namespace
+
+TEST(ConstFold, FoldsConstantExpressions) {
+  Module M = compile("fn main() { return 2 + 3 * 4; }");
+  Function &F = M.Functions[0];
+  EXPECT_GT(countInstrs(F, Opcode::Mul), 0u);
+  passes::foldConstants(F);
+  passes::removeDeadCode(F);
+  EXPECT_EQ(countInstrs(F, Opcode::Mul), 0u);
+  EXPECT_EQ(countInstrs(F, Opcode::Add), 0u);
+  // The returned value is the constant 14.
+  bool Found = false;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Instr &I : BB.Instrs)
+      if (I.Op == Opcode::Const && I.Imm == 14)
+        Found = true;
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(ConstFold, AlgebraicIdentities) {
+  Module M = compile(
+      "fn f(x) { return (x + 0) * 1 + (x * 0) + (x ^ 0) - (x & 0); } "
+      "fn main() { return f(read_int()); }");
+  Function &F = M.Functions[0];
+  passes::optimize(M);
+  // Everything reduces to x + x (one Add), no Mul/Xor/And left.
+  EXPECT_EQ(countInstrs(F, Opcode::Mul), 0u);
+  EXPECT_EQ(countInstrs(F, Opcode::Xor), 0u);
+  EXPECT_EQ(countInstrs(F, Opcode::And), 0u);
+}
+
+TEST(ConstFold, DoesNotFoldTrappingDivision) {
+  Module M = compile("fn main() { return 1 / (2 - 2); }");
+  Function &F = M.Functions[0];
+  passes::foldConstants(F);
+  // The division by zero must remain (it traps at run time, like IDIV).
+  EXPECT_EQ(countInstrs(F, Opcode::Div), 1u);
+}
+
+TEST(ConstFold, FoldsKnownConditionalBranches) {
+  Module M = compile(
+      "fn main() { if (1 < 2) { return 5; } else { return 6; } }");
+  Function &F = M.Functions[0];
+  passes::foldConstants(F);
+  EXPECT_EQ(countInstrs(F, Opcode::CondBr), 0u);
+}
+
+TEST(ConstFold, MultiplyDefinedValueNotPropagated) {
+  // x is reassigned, so its initial constant must not fold into the use
+  // after the join.
+  Module M = compile("fn main() { var x = 1; if (read_int()) { x = 2; } "
+                     "return x + 10; }");
+  passes::optimize(M);
+  EXPECT_EQ(verify(M), "");
+  Function &F = M.Functions[0];
+  EXPECT_EQ(countInstrs(F, Opcode::Add), 1u); // still computed at run time
+}
+
+TEST(DeadCode, RemovesUnusedComputation) {
+  Module M = compile(
+      "fn main() { var unused = 3 * 4 + 5; var used = 2; return used; }");
+  Function &F = M.Functions[0];
+  unsigned Before = totalInstrs(F);
+  passes::foldConstants(F);
+  bool Changed = passes::removeDeadCode(F);
+  EXPECT_TRUE(Changed);
+  EXPECT_LT(totalInstrs(F), Before);
+  EXPECT_EQ(countInstrs(F, Opcode::Mul), 0u);
+}
+
+TEST(DeadCode, KeepsSideEffects) {
+  Module M = compile("global g; fn main() { g = 5; print_int(1); "
+                     "var dead = 9; return 0; }");
+  Function &F = M.Functions[0];
+  passes::foldConstants(F);
+  passes::removeDeadCode(F);
+  EXPECT_EQ(countInstrs(F, Opcode::Store), 1u);
+  EXPECT_EQ(countInstrs(F, Opcode::Call), 1u);
+}
+
+TEST(DeadCode, DeadLoadRemoved) {
+  Module M = compile("global g[4]; fn main() { var dead = g[2]; "
+                     "return 1; }");
+  Function &F = M.Functions[0];
+  passes::foldConstants(F);
+  passes::removeDeadCode(F);
+  EXPECT_EQ(countInstrs(F, Opcode::Load), 0u);
+}
+
+TEST(SimplifyCFG, RemovesUnreachableBlocks) {
+  Module M = compile("fn main() { return 1; print_int(2); }");
+  Function &F = M.Functions[0];
+  passes::simplifyCFG(F);
+  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(countInstrs(F, Opcode::Call), 0u);
+}
+
+TEST(SimplifyCFG, MergesStraightLineChains) {
+  Module M = compile(
+      "fn main() { var a = read_int(); if (a) { a = a + 1; } "
+      "return a; }");
+  Function &F = M.Functions[0];
+  size_t Before = F.Blocks.size();
+  passes::optimize(M);
+  EXPECT_LE(F.Blocks.size(), Before);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(SimplifyCFG, CollapsesWholeConstantChain) {
+  Module M = compile("fn main() { if (1) { if (2 > 1) { return 42; } } "
+                     "return 0; }");
+  passes::optimize(M);
+  Function &F = M.Functions[0];
+  // Everything folds into a single block returning 42.
+  EXPECT_EQ(F.Blocks.size(), 1u);
+  EXPECT_EQ(F.Blocks[0].terminator().Op, Opcode::Ret);
+}
+
+TEST(SimplifyCFG, PreservesInfiniteLoop) {
+  Module M = compile("fn main() { while (1) { sink(1); } return 0; }");
+  passes::optimize(M);
+  EXPECT_EQ(verify(M), "");
+  // A cycle must still exist.
+  Function &F = M.Functions[0];
+  bool HasBackEdge = false;
+  for (BlockId B = 0; B != F.Blocks.size(); ++B)
+    for (BlockId S : successors(F.Blocks[B]))
+      if (S <= B)
+        HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge);
+}
+
+TEST(Optimize, IdempotentSecondRun) {
+  Module M = compile("fn f(x) { if (x > 0) { return x * 2 + 0; } "
+                     "return 0 - x; } "
+                     "fn main() { return f(read_int()); }");
+  passes::optimize(M);
+  std::string Once = print(M);
+  passes::optimize(M);
+  EXPECT_EQ(print(M), Once);
+}
+
+TEST(Optimize, ShrinksRealProgram) {
+  Module M = compile(R"(
+    fn main() {
+      var total = 0;
+      var limit = 10 * 10;       // foldable
+      for (var i = 0; i < limit; i = i + 1) {
+        total = total + i * 1;   // identity
+        total = total + 0;       // identity
+      }
+      return total;
+    }
+  )");
+  unsigned Before = totalInstrs(M.Functions[0]);
+  passes::optimize(M);
+  EXPECT_LT(totalInstrs(M.Functions[0]), Before);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(IRStructure, SuccessorsAndPredecessors) {
+  Module M = compile(
+      "fn main() { var a = read_int(); if (a) { a = 1; } else { a = 2; } "
+      "return a; }");
+  const Function &F = M.Functions[0];
+  auto Preds = predecessors(F);
+  // Entry has no predecessors; the join block has two.
+  EXPECT_TRUE(Preds[0].empty());
+  bool FoundJoin = false;
+  for (const auto &P : Preds)
+    if (P.size() == 2)
+      FoundJoin = true;
+  EXPECT_TRUE(FoundJoin);
+}
+
+TEST(IRVerify, CatchesBrokenModules) {
+  Module M = compile("fn main() { return 1; }");
+  // Branch target out of range.
+  Module Broken = M;
+  Instr BadBr;
+  BadBr.Op = Opcode::Br;
+  BadBr.Succ0 = 99;
+  Broken.Functions[0].Blocks[0].Instrs.back() = BadBr;
+  EXPECT_NE(verify(Broken), "");
+
+  // Interior terminator.
+  Broken = M;
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.A = NoValue;
+  Broken.Functions[0].Blocks[0].Instrs.insert(
+      Broken.Functions[0].Blocks[0].Instrs.begin(), Ret);
+  EXPECT_NE(verify(Broken), "");
+
+  // Operand out of range.
+  Broken = M;
+  Instr BadAdd;
+  BadAdd.Op = Opcode::Add;
+  BadAdd.Dst = 0;
+  BadAdd.A = 12345;
+  BadAdd.B = 0;
+  auto &Instrs = Broken.Functions[0].Blocks[0].Instrs;
+  Instrs.insert(Instrs.begin(), BadAdd);
+  Broken.Functions[0].NumValues = 1;
+  EXPECT_NE(verify(Broken), "");
+
+  // Missing terminator.
+  Broken = M;
+  Broken.Functions[0].Blocks[0].Instrs.pop_back();
+  while (!Broken.Functions[0].Blocks[0].Instrs.empty() &&
+         !isTerminator(Broken.Functions[0].Blocks[0].Instrs.back().Op))
+    Broken.Functions[0].Blocks[0].Instrs.pop_back();
+  if (Broken.Functions[0].Blocks[0].Instrs.empty()) {
+    Instr C;
+    C.Op = Opcode::Const;
+    C.Dst = 0;
+    Broken.Functions[0].Blocks[0].Instrs.push_back(C);
+  }
+  EXPECT_NE(verify(Broken), "");
+}

@@ -1,0 +1,240 @@
+//===-- tests/ProfileTest.cpp - Edge-profiling infrastructure tests --------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The key invariant (paper Section 3.1): counters are placed only on a
+// minimal subset of CFG edges, yet the recovered per-block execution
+// counts must equal ground truth exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "profile/Profile.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+
+namespace {
+
+driver::Program compileOK(const char *Source, const char *Name) {
+  driver::Program P = driver::compileProgram(Source, Name);
+  EXPECT_TRUE(P.OK) << P.Errors;
+  return P;
+}
+
+/// Ground-truth block counts via the interpreter's direct counting.
+std::vector<std::vector<uint64_t>>
+groundTruth(const mir::MModule &M, const std::vector<int32_t> &Input) {
+  mexec::RunOptions Opts;
+  Opts.Input = Input;
+  Opts.CollectBlockCounts = true;
+  mexec::RunResult R = mexec::run(M, Opts);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  return R.BlockCounts;
+}
+
+} // namespace
+
+TEST(Profile, RecoveredCountsMatchGroundTruthSimple) {
+  driver::Program P = compileOK(
+      "fn main() { var s = 0; var i = 0; while (i < 37) { "
+      "if (i % 3 == 0) { s = s + i; } i = i + 1; } print_int(s); "
+      "return 0; }",
+      "simple");
+  auto Truth = groundTruth(P.MIR, {});
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  ASSERT_FALSE(Data.empty());
+  ASSERT_EQ(Data.BlockCounts.size(), Truth.size());
+  for (size_t F = 0; F != Truth.size(); ++F) {
+    ASSERT_EQ(Data.BlockCounts[F].size(), Truth[F].size());
+    for (size_t B = 0; B != Truth[F].size(); ++B)
+      EXPECT_EQ(Data.BlockCounts[F][B], Truth[F][B])
+          << "func " << F << " block " << B;
+  }
+}
+
+TEST(Profile, RecoveredCountsMatchOnRecursion) {
+  driver::Program P = compileOK(
+      "fn fib(n) { if (n < 2) { return n; } "
+      "return fib(n - 1) + fib(n - 2); } "
+      "fn main() { print_int(fib(15)); return 0; }",
+      "fib");
+  auto Truth = groundTruth(P.MIR, {});
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  ASSERT_FALSE(Data.empty());
+  for (size_t F = 0; F != Truth.size(); ++F)
+    for (size_t B = 0; B != Truth[F].size(); ++B)
+      EXPECT_EQ(Data.BlockCounts[F][B], Truth[F][B]);
+}
+
+TEST(Profile, UncalledFunctionHasZeroCounts) {
+  driver::Program P = compileOK(
+      "fn never(x) { while (x > 0) { x = x - 1; } return x; } "
+      "fn main() { return 0; }",
+      "cold");
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  ASSERT_FALSE(Data.empty());
+  int NeverIdx = P.IR.findFunction("never");
+  ASSERT_GE(NeverIdx, 0);
+  for (uint64_t C : Data.BlockCounts[static_cast<size_t>(NeverIdx)])
+    EXPECT_EQ(C, 0u);
+}
+
+TEST(Profile, CounterPlacementIsMinimal) {
+  driver::Program P = compileOK(
+      "fn main() { var i = 0; while (i < 5) { if (i & 1) { sink(i); } "
+      "i = i + 1; } return 0; }",
+      "minimal");
+  mir::MModule Clone = P.MIR;
+  profile::InstrumentationPlan Plan = profile::instrumentModule(Clone);
+  for (const profile::FuncInstrumentation &F : Plan.Funcs) {
+    // A spanning tree over N+1 nodes has N edges; only the remaining
+    // edges carry counters.
+    size_t NumNodes = F.NumBlocks + 1;
+    size_t Counted = 0;
+    for (const profile::EdgeInfo &E : F.Edges)
+      if (E.CounterId >= 0)
+        ++Counted;
+    ASSERT_GE(F.Edges.size() + 1, NumNodes); // connected CFG
+    EXPECT_EQ(Counted, F.Edges.size() - (NumNodes - 1))
+        << "counters must equal |E| - |spanning tree|";
+  }
+}
+
+TEST(Profile, InstrumentationPreservesSemantics) {
+  driver::Program P = compileOK(
+      "fn main() { var s = 0; var i = 0; while (i < 50) { "
+      "s = s ^ (i * 7); i = i + 1; } print_int(s); return 0; }",
+      "sem");
+  mexec::RunResult Plain = driver::execute(P.MIR, {});
+  mir::MModule Clone = P.MIR;
+  profile::InstrumentationPlan Plan = profile::instrumentModule(Clone);
+  Clone.NumProfCounters = Plan.NumCounters;
+  EXPECT_EQ(mir::verify(Clone), "");
+  mexec::RunResult Inst = driver::execute(Clone, {});
+  EXPECT_FALSE(Inst.Trapped) << Inst.TrapReason;
+  EXPECT_EQ(Inst.Checksum, Plain.Checksum);
+  EXPECT_EQ(Inst.ExitCode, Plain.ExitCode);
+  // Instrumentation costs cycles (the reason profiling is a separate
+  // training build).
+  EXPECT_GT(Inst.Cycles10, Plain.Cycles10);
+}
+
+TEST(Profile, OriginalBlockIdsStable) {
+  driver::Program P = compileOK(
+      "fn main() { var i = read_int(); if (i) { i = i * 2; } "
+      "return i; }",
+      "stable");
+  size_t Before = P.MIR.Functions[0].Blocks.size();
+  mir::MModule Clone = P.MIR;
+  profile::InstrumentationPlan Plan = profile::instrumentModule(Clone);
+  (void)Plan;
+  // Instrumentation only appends blocks.
+  ASSERT_GE(Clone.Functions[0].Blocks.size(), Before);
+  for (size_t B = 0; B != Before; ++B)
+    EXPECT_EQ(Clone.Functions[0].Blocks[B].Name,
+              P.MIR.Functions[0].Blocks[B].Name);
+}
+
+TEST(Profile, ApplyCountsStampsBlocks) {
+  driver::Program P = compileOK(
+      "fn main() { var i = 0; while (i < 9) { i = i + 1; } return i; }",
+      "stamp");
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  profile::applyCounts(P.MIR, Data);
+  uint64_t Max = 0;
+  for (const mir::MBasicBlock &BB : P.MIR.Functions[0].Blocks)
+    Max = std::max(Max, BB.ProfileCount);
+  EXPECT_EQ(Max, Data.MaxCount);
+  EXPECT_GE(Max, 9u);
+}
+
+TEST(Profile, SerializationRoundTrips) {
+  driver::Program P = compileOK(
+      "fn f(n) { var s = 0; while (n > 0) { s = s + n; n = n - 1; } "
+      "return s; } fn main() { return f(25); }",
+      "serialize");
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  ASSERT_FALSE(Data.empty());
+  std::string Text = profile::serializeProfile(Data);
+  EXPECT_NE(Text.find("pgsd-profile v1"), std::string::npos);
+  profile::ProfileData Back;
+  ASSERT_TRUE(profile::deserializeProfile(Text, Back));
+  ASSERT_EQ(Back.BlockCounts.size(), Data.BlockCounts.size());
+  for (size_t F = 0; F != Data.BlockCounts.size(); ++F)
+    EXPECT_EQ(Back.BlockCounts[F], Data.BlockCounts[F]);
+  EXPECT_EQ(Back.MaxCount, Data.MaxCount);
+}
+
+TEST(Profile, DeserializeRejectsGarbage) {
+  profile::ProfileData Out;
+  EXPECT_FALSE(profile::deserializeProfile("", Out));
+  EXPECT_FALSE(profile::deserializeProfile("not a profile", Out));
+  EXPECT_FALSE(profile::deserializeProfile(
+      "pgsd-profile v1\nfunc 1 blocks 2\n", Out)); // func 0 missing
+  EXPECT_FALSE(profile::deserializeProfile(
+      "pgsd-profile v1\nfunc 0 blocks 2\n0 9 5\n", Out)); // block range
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(Profile, TrainAndRefAgreeOnHotBlocks) {
+  // The same block must be the hottest under both inputs (the paper's
+  // premise that train profiles transfer to ref runs).
+  const workloads::Workload &W = workloads::specWorkload("456.hmmer");
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  ASSERT_TRUE(P.OK) << P.Errors;
+  profile::ProfileData Train =
+      profile::profileModule(P.MIR, mexec::RunOptions{.Input = W.TrainInput, .MaxSteps = 4ull << 30, .MaxCallDepth = 8192, .CollectBlockCounts = false, .CollectOutput = false, .Costs = {}});
+  profile::ProfileData Ref =
+      profile::profileModule(P.MIR, mexec::RunOptions{.Input = W.RefInput, .MaxSteps = 4ull << 30, .MaxCallDepth = 8192, .CollectBlockCounts = false, .CollectOutput = false, .Costs = {}});
+  ASSERT_FALSE(Train.empty());
+  ASSERT_FALSE(Ref.empty());
+
+  auto HottestBlock = [](const profile::ProfileData &D) {
+    std::pair<size_t, size_t> Best{0, 0};
+    uint64_t Max = 0;
+    for (size_t F = 0; F != D.BlockCounts.size(); ++F)
+      for (size_t B = 0; B != D.BlockCounts[F].size(); ++B)
+        if (D.BlockCounts[F][B] > Max) {
+          Max = D.BlockCounts[F][B];
+          Best = {F, B};
+        }
+    return Best;
+  };
+  EXPECT_EQ(HottestBlock(Train), HottestBlock(Ref));
+}
+
+/// Property sweep: on every SPEC-like workload, minimal-counter recovery
+/// must equal ground truth for the training input.
+class ProfileWorkloadTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ProfileWorkloadTest, RecoveryMatchesGroundTruth) {
+  const workloads::Workload &W = workloads::specWorkload(GetParam());
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  ASSERT_TRUE(P.OK) << P.Errors;
+  auto Truth = groundTruth(P.MIR, W.TrainInput);
+  profile::ProfileData Data =
+      profile::profileModule(P.MIR, mexec::RunOptions{.Input = W.TrainInput, .MaxSteps = 4ull << 30, .MaxCallDepth = 8192, .CollectBlockCounts = false, .CollectOutput = false, .Costs = {}});
+  ASSERT_FALSE(Data.empty());
+  for (size_t F = 0; F != Truth.size(); ++F) {
+    ASSERT_EQ(Data.BlockCounts[F].size(), Truth[F].size());
+    for (size_t B = 0; B != Truth[F].size(); ++B)
+      ASSERT_EQ(Data.BlockCounts[F][B], Truth[F][B])
+          << W.Name << " func " << F << " block " << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec, ProfileWorkloadTest,
+                         ::testing::Values("470.lbm", "429.mcf", "401.bzip2",
+                                           "473.astar", "458.sjeng",
+                                           "482.sphinx3", "400.perlbench"),
+                         [](const auto &Info) {
+                           std::string Name = Info.param;
+                           for (char &C : Name)
+                             if (C == '.')
+                               C = '_';
+                           return Name;
+                         });

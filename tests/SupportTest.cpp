@@ -1,0 +1,195 @@
+//===-- tests/SupportTest.cpp - support library tests ----------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace pgsd;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0u);
+}
+
+TEST(Rng, NearbySeedsDecorrelated) {
+  // SplitMix64 seeding must decorrelate seeds 0 and 1.
+  Rng A(0), B(1);
+  uint64_t XorAll = 0;
+  for (int I = 0; I != 64; ++I)
+    XorAll |= A.next() ^ B.next();
+  EXPECT_NE(XorAll, 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng R(11);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Sum += R.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng R(3);
+  const int N = 200000;
+  int Hits = 0;
+  for (int I = 0; I != N; ++I)
+    if (R.nextBernoulli(0.3))
+      ++Hits;
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng R(5);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.nextBernoulli(0.0));
+    EXPECT_TRUE(R.nextBernoulli(1.0));
+    EXPECT_FALSE(R.nextBernoulli(-0.5));
+    EXPECT_TRUE(R.nextBernoulli(1.5));
+  }
+}
+
+/// nextBelow must stay in range and hit every residue for small bounds.
+class RngBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, InRangeAndCoversAll) {
+  uint64_t Bound = GetParam();
+  Rng R(Bound * 977 + 1);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = R.nextBelow(Bound);
+    ASSERT_LT(V, Bound);
+    Seen.insert(V);
+  }
+  if (Bound <= 16) {
+    EXPECT_EQ(Seen.size(), Bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 13, 16, 100,
+                                           1000, 1u << 20));
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    ASSERT_GE(V, -3);
+    ASSERT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng A(123);
+  Rng Child = A.fork();
+  uint64_t C1 = Child.next();
+  // Re-derive: the fork consumed exactly one parent draw.
+  Rng B(123);
+  Rng Child2 = B.fork();
+  EXPECT_EQ(C1, Child2.next());
+}
+
+TEST(Statistics, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_NEAR(geometricMean({4.0, 9.0}), 6.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  // Geomean of slowdown ratios is below the arithmetic mean.
+  std::vector<double> Ratios = {1.01, 1.25, 1.08};
+  EXPECT_LT(geometricMean(Ratios), mean(Ratios));
+}
+
+TEST(Statistics, Median) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  // Lower median for even sizes.
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.0);
+}
+
+TEST(Statistics, MedianCount) {
+  EXPECT_EQ(medianCount({}), 0u);
+  EXPECT_EQ(medianCount({7}), 7u);
+  EXPECT_EQ(medianCount({1, 1000000, 3}), 3u);
+}
+
+TEST(Statistics, SampleStdDev) {
+  EXPECT_DOUBLE_EQ(sampleStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleStdDev({3.0}), 0.0);
+  EXPECT_NEAR(sampleStdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(TablePrinter, AlignsColumnsAndRulesHeader) {
+  TablePrinter T;
+  T.addRow({"name", "value"});
+  T.addRow({"x", "123456"});
+  T.addRow({"longer-name", "1"});
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  // The second column starts at the same offset within each data line.
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < Out.size()) {
+    size_t End = Out.find('\n', Start);
+    Lines.push_back(Out.substr(Start, End - Start));
+    Start = End + 1;
+  }
+  ASSERT_EQ(Lines.size(), 4u); // header, rule, two data rows
+  EXPECT_EQ(Lines[0].find("value"), Lines[2].find("123456"));
+  EXPECT_EQ(Lines[0].find("value"), Lines[3].find("1"));
+}
+
+TEST(TablePrinter, HandlesRaggedRows) {
+  TablePrinter T;
+  T.addRow({"a", "b", "c"});
+  T.addRow({"only-one"});
+  std::string Out = T.toString();
+  EXPECT_NE(Out.find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(12.345, 1), "12.3%");
+  EXPECT_EQ(formatCount(123456789ull), "123456789");
+}

@@ -1,0 +1,385 @@
+//===-- tools/pgsdc.cpp - PGSD command-line driver --------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The user-facing compiler driver, modeled on the workflow of the
+// paper's diversifying multicompiler:
+//
+//   pgsdc run file.minic [--input "1 2 3"]
+//   pgsdc profile file.minic --input "train data" -o file.prof
+//   pgsdc diversify file.minic [--profile file.prof] [--seed N]
+//         [--pmin 0] [--pmax 30] [--model log|linear|uniform]
+//         [--xchg] [--block-shift]
+//   pgsdc gadgets file.minic [--seed N ...as above]
+//   pgsdc disasm file.minic
+//
+//===----------------------------------------------------------------------===//
+
+#include "diversity/NopInsertion.h"
+#include "driver/Driver.h"
+#include "gadget/Attack.h"
+#include "gadget/Scanner.h"
+#include "profile/Profile.h"
+#include "x86/Disasm.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pgsdc <command> <file.minic> [options]\n"
+               "\n"
+               "commands:\n"
+               "  run        compile and execute in the cycle simulator\n"
+               "  profile    training run; write per-block counts\n"
+               "  diversify  build a diversified variant, report stats\n"
+               "  gadgets    scan gadgets / check attack feasibility\n"
+               "  disasm     disassemble the linked image\n"
+               "\n"
+               "options:\n"
+               "  --input \"1 2 3\"    integers fed to read_int()\n"
+               "  --profile FILE      use a saved training profile\n"
+               "  -o FILE             output file (profile command)\n"
+               "  --seed N            variant seed (default 1)\n"
+               "  --pmin P --pmax P   probability range, percent\n"
+               "  --model M           log (default) | linear | uniform\n"
+               "  --xchg              include the bus-locking XCHG NOPs\n"
+               "  --block-shift       also insert entry pad blocks\n"
+               "  --no-opt            disable the -O2 pipeline\n");
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Data;
+  return Out.good();
+}
+
+std::vector<int32_t> parseInput(const std::string &Text) {
+  std::vector<int32_t> Values;
+  std::istringstream SS(Text);
+  long long V;
+  while (SS >> V)
+    Values.push_back(static_cast<int32_t>(V));
+  return Values;
+}
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::string InputText;
+  std::string ProfileFile;
+  std::string OutFile;
+  uint64_t Seed = 1;
+  double PMin = 0.0;
+  double PMax = 30.0;
+  std::string Model = "log";
+  bool Xchg = false;
+  bool BlockShift = false;
+  bool Optimize = true;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--input") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.InputText = V;
+    } else if (Arg == "--profile") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.ProfileFile = V;
+    } else if (Arg == "-o") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.OutFile = V;
+    } else if (Arg == "--seed") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--pmin") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.PMin = std::strtod(V, nullptr) / 100.0;
+    } else if (Arg == "--pmax") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.PMax = std::strtod(V, nullptr) / 100.0;
+    } else if (Arg == "--model") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Model = V;
+    } else if (Arg == "--xchg") {
+      Opts.Xchg = true;
+    } else if (Arg == "--block-shift") {
+      Opts.BlockShift = true;
+    } else if (Arg == "--no-opt") {
+      Opts.Optimize = false;
+    } else {
+      std::fprintf(stderr, "pgsdc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  // Percentages arrive /100 already; fix defaults set in percent.
+  if (Opts.PMax > 1.0)
+    Opts.PMax /= 100.0;
+  if (Opts.PMin > 1.0)
+    Opts.PMin /= 100.0;
+  return true;
+}
+
+diversity::DiversityOptions diversityOptions(const Options &Opts) {
+  diversity::DiversityOptions D;
+  if (Opts.Model == "uniform") {
+    D = diversity::DiversityOptions::uniform(Opts.PMax);
+  } else {
+    D = diversity::DiversityOptions::profiled(
+        Opts.Model == "linear" ? diversity::ProbabilityModel::Linear
+                               : diversity::ProbabilityModel::Log,
+        Opts.PMin, Opts.PMax);
+  }
+  D.IncludeXchgNops = Opts.Xchg;
+  return D;
+}
+
+/// Loads the program and, when requested, applies a saved profile.
+bool loadProgram(const Options &Opts, driver::Program &P) {
+  std::string Source;
+  if (!readFile(Opts.File, Source)) {
+    std::fprintf(stderr, "pgsdc: cannot read '%s'\n", Opts.File.c_str());
+    return false;
+  }
+  P = driver::compileProgram(Source, Opts.File, Opts.Optimize);
+  if (!P.OK) {
+    std::fprintf(stderr, "%s", P.Errors.c_str());
+    return false;
+  }
+  if (!Opts.ProfileFile.empty()) {
+    std::string Text;
+    if (!readFile(Opts.ProfileFile, Text)) {
+      std::fprintf(stderr, "pgsdc: cannot read profile '%s'\n",
+                   Opts.ProfileFile.c_str());
+      return false;
+    }
+    profile::ProfileData Data;
+    if (!deserializeProfile(Text, Data)) {
+      std::fprintf(stderr, "pgsdc: malformed profile '%s'\n",
+                   Opts.ProfileFile.c_str());
+      return false;
+    }
+    if (Data.BlockCounts.size() != P.MIR.Functions.size()) {
+      std::fprintf(stderr,
+                   "pgsdc: profile does not match this program (did the "
+                   "source change since training?)\n");
+      return false;
+    }
+    profile::applyCounts(P.MIR, Data);
+    P.HasProfile = true;
+  }
+  return true;
+}
+
+int cmdRun(const Options &Opts) {
+  driver::Program P;
+  if (!loadProgram(Opts, P))
+    return 1;
+  mexec::RunResult R =
+      driver::execute(P.MIR, parseInput(Opts.InputText), true);
+  std::fputs(R.Output.c_str(), stdout);
+  if (R.Trapped) {
+    std::fprintf(stderr, "pgsdc: program trapped: %s\n",
+                 R.TrapReason.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "exit=%d instructions=%llu cycles=%.0f checksum=%08x\n",
+               R.ExitCode, static_cast<unsigned long long>(R.Instructions),
+               R.cycles(), R.Checksum);
+  return R.ExitCode == 0 ? 0 : R.ExitCode & 0x7f;
+}
+
+int cmdProfile(const Options &Opts) {
+  driver::Program P;
+  if (!loadProgram(Opts, P))
+    return 1;
+  mexec::RunOptions Run;
+  Run.Input = parseInput(Opts.InputText);
+  profile::ProfileData Data = profile::profileModule(P.MIR, Run);
+  if (Data.empty()) {
+    std::fprintf(stderr, "pgsdc: training run failed\n");
+    return 1;
+  }
+  std::string Text = profile::serializeProfile(Data);
+  if (Opts.OutFile.empty()) {
+    std::fputs(Text.c_str(), stdout);
+  } else if (!writeFile(Opts.OutFile, Text)) {
+    std::fprintf(stderr, "pgsdc: cannot write '%s'\n",
+                 Opts.OutFile.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "profiled: xmax=%llu\n",
+               static_cast<unsigned long long>(Data.MaxCount));
+  return 0;
+}
+
+int cmdDiversify(const Options &Opts) {
+  driver::Program P;
+  if (!loadProgram(Opts, P))
+    return 1;
+  codegen::Image Base = driver::linkBaseline(P);
+  auto BaseGadgets =
+      gadget::scanGadgets(Base.Text.data(), Base.Text.size());
+
+  mir::MModule V = P.MIR;
+  if (Opts.BlockShift) {
+    diversity::BlockShiftStats BS =
+        diversity::insertBlockShift(V, Opts.Seed ^ 0xb10c);
+    std::printf("block shift: %llu pad instructions over %llu functions\n",
+                static_cast<unsigned long long>(BS.PaddingInstrs),
+                static_cast<unsigned long long>(BS.FunctionsShifted));
+  }
+  diversity::DiversityOptions D = diversityOptions(Opts);
+  D.Seed = Opts.Seed;
+  diversity::InsertionStats Stats = diversity::insertNops(V, D);
+  codegen::Image Img = codegen::link(V);
+  auto Survivors = gadget::survivingGadgets(Base.Text, Img.Text);
+
+  std::printf("config: %s seed=%llu%s\n", D.label().c_str(),
+              static_cast<unsigned long long>(Opts.Seed),
+              P.HasProfile ? " (profile applied)" : " (no profile)");
+  std::printf("nops inserted: %llu of %llu sites (%.1f%%)\n",
+              static_cast<unsigned long long>(Stats.NopsInserted),
+              static_cast<unsigned long long>(Stats.CandidateSites),
+              100.0 * Stats.insertionRate());
+  std::printf(".text: %zu -> %zu bytes\n", Base.Text.size(),
+              Img.Text.size());
+  std::printf("gadgets: %zu baseline, %zu surviving at original offsets\n",
+              BaseGadgets.size(), Survivors.size());
+
+  mexec::RunResult RBase =
+      driver::execute(P.MIR, parseInput(Opts.InputText));
+  mexec::RunResult RVar = driver::execute(V, parseInput(Opts.InputText));
+  if (!RBase.Trapped && !RVar.Trapped) {
+    std::printf("slowdown on given input: %+.2f%% (checksums %s)\n",
+                100.0 * (RVar.cycles() / RBase.cycles() - 1.0),
+                RBase.Checksum == RVar.Checksum ? "match" : "DIFFER");
+    if (RBase.Checksum != RVar.Checksum)
+      return 1;
+  }
+  return 0;
+}
+
+int cmdGadgets(const Options &Opts) {
+  driver::Program P;
+  if (!loadProgram(Opts, P))
+    return 1;
+  codegen::Image Img = driver::linkBaseline(P);
+  auto Gadgets = gadget::scanGadgets(Img.Text.data(), Img.Text.size());
+  auto Classified =
+      gadget::classifyGadgets(Img.Text.data(), Img.Text.size());
+  auto Rop =
+      gadget::checkAttack(Classified, gadget::AttackModel::RopGadget);
+  auto Micro =
+      gadget::checkAttack(Classified, gadget::AttackModel::Microgadget);
+  std::printf("%zu gadgets in %zu bytes of .text\n", Gadgets.size(),
+              Img.Text.size());
+  std::printf("usable: %llu pop, %llu store, %llu move, %llu arith, "
+              "%llu syscall\n",
+              static_cast<unsigned long long>(Rop.NumPop),
+              static_cast<unsigned long long>(Rop.NumStore),
+              static_cast<unsigned long long>(Rop.NumMove),
+              static_cast<unsigned long long>(Rop.NumArith),
+              static_cast<unsigned long long>(Rop.NumSyscall));
+  std::printf("ROPgadget-model attack: %s%s%s\n",
+              Rop.Feasible ? "FEASIBLE" : "infeasible (missing: ",
+              Rop.Feasible ? "" : Rop.Missing.c_str(),
+              Rop.Feasible ? "" : ")");
+  std::printf("microgadgets-model attack: %s%s%s\n",
+              Micro.Feasible ? "FEASIBLE" : "infeasible (missing: ",
+              Micro.Feasible ? "" : Micro.Missing.c_str(),
+              Micro.Feasible ? "" : ")");
+  return 0;
+}
+
+int cmdDisasm(const Options &Opts) {
+  driver::Program P;
+  if (!loadProgram(Opts, P))
+    return 1;
+  codegen::Image Img = driver::linkBaseline(P);
+  auto Lines = x86::disassembleRange(
+      Img.Text.data(), Img.Text.size(), 0,
+      static_cast<uint32_t>(Img.Text.size()));
+  for (const auto &L : Lines) {
+    // Mark function starts.
+    for (size_t F = 0; F != Img.FuncOffsets.size(); ++F)
+      if (Img.FuncOffsets[F] == L.Offset)
+        std::printf("\n%s:\n", P.MIR.Functions[F].Name.c_str());
+    if (L.Offset == 0)
+      std::printf("_start:\n");
+    std::printf("  %06x:  ", L.Offset);
+    for (unsigned B = 0; B != 8; ++B)
+      if (B < L.Length)
+        std::printf("%02x ", Img.Text[L.Offset + B]);
+      else
+        std::printf("   ");
+    std::printf(" %s\n", L.Text.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+  if (Opts.Command == "run")
+    return cmdRun(Opts);
+  if (Opts.Command == "profile")
+    return cmdProfile(Opts);
+  if (Opts.Command == "diversify")
+    return cmdDiversify(Opts);
+  if (Opts.Command == "gadgets")
+    return cmdGadgets(Opts);
+  if (Opts.Command == "disasm")
+    return cmdDisasm(Opts);
+  std::fprintf(stderr, "pgsdc: unknown command '%s'\n",
+               Opts.Command.c_str());
+  return usage();
+}
