@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/php_case_study.dir/php_case_study.cpp.o"
+  "CMakeFiles/php_case_study.dir/php_case_study.cpp.o.d"
+  "php_case_study"
+  "php_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/php_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nop_candidates.dir/table1_nop_candidates.cpp.o"
+  "CMakeFiles/table1_nop_candidates.dir/table1_nop_candidates.cpp.o.d"
+  "table1_nop_candidates"
+  "table1_nop_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nop_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_surviving_gadgets.dir/table2_surviving_gadgets.cpp.o"
+  "CMakeFiles/table2_surviving_gadgets.dir/table2_surviving_gadgets.cpp.o.d"
+  "table2_surviving_gadgets"
+  "table2_surviving_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_surviving_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_multiversion.dir/table3_multiversion.cpp.o"
+  "CMakeFiles/table3_multiversion.dir/table3_multiversion.cpp.o.d"
+  "table3_multiversion"
+  "table3_multiversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_multiversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

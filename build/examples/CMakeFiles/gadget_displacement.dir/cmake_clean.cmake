@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_displacement.dir/gadget_displacement.cpp.o"
+  "CMakeFiles/gadget_displacement.dir/gadget_displacement.cpp.o.d"
+  "gadget_displacement"
+  "gadget_displacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_diversity.dir/population_diversity.cpp.o"
+  "CMakeFiles/population_diversity.dir/population_diversity.cpp.o.d"
+  "population_diversity"
+  "population_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_suite_report.dir/spec_suite_report.cpp.o"
+  "CMakeFiles/spec_suite_report.dir/spec_suite_report.cpp.o.d"
+  "spec_suite_report"
+  "spec_suite_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_suite_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_codegen.dir/Emitter.cpp.o"
+  "CMakeFiles/pgsd_codegen.dir/Emitter.cpp.o.d"
+  "CMakeFiles/pgsd_codegen.dir/Linker.cpp.o"
+  "CMakeFiles/pgsd_codegen.dir/Linker.cpp.o.d"
+  "libpgsd_codegen.a"
+  "libpgsd_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_diversity.dir/NopInsertion.cpp.o"
+  "CMakeFiles/pgsd_diversity.dir/NopInsertion.cpp.o.d"
+  "libpgsd_diversity.a"
+  "libpgsd_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_driver.dir/Driver.cpp.o"
+  "CMakeFiles/pgsd_driver.dir/Driver.cpp.o.d"
+  "libpgsd_driver.a"
+  "libpgsd_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

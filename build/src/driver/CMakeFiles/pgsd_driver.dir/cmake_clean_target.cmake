@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgsd_driver.a"
+)

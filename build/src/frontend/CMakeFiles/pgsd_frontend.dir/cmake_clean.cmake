@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/pgsd_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pgsd_frontend.dir/Lower.cpp.o"
+  "CMakeFiles/pgsd_frontend.dir/Lower.cpp.o.d"
+  "CMakeFiles/pgsd_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/pgsd_frontend.dir/Parser.cpp.o.d"
+  "libpgsd_frontend.a"
+  "libpgsd_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgsd_frontend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gadget/Attack.cpp" "src/gadget/CMakeFiles/pgsd_gadget.dir/Attack.cpp.o" "gcc" "src/gadget/CMakeFiles/pgsd_gadget.dir/Attack.cpp.o.d"
+  "/root/repo/src/gadget/Scanner.cpp" "src/gadget/CMakeFiles/pgsd_gadget.dir/Scanner.cpp.o" "gcc" "src/gadget/CMakeFiles/pgsd_gadget.dir/Scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/x86/CMakeFiles/pgsd_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pgsd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_gadget.dir/Attack.cpp.o"
+  "CMakeFiles/pgsd_gadget.dir/Attack.cpp.o.d"
+  "CMakeFiles/pgsd_gadget.dir/Scanner.cpp.o"
+  "CMakeFiles/pgsd_gadget.dir/Scanner.cpp.o.d"
+  "libpgsd_gadget.a"
+  "libpgsd_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

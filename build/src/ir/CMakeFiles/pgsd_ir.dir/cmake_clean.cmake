@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_ir.dir/IR.cpp.o"
+  "CMakeFiles/pgsd_ir.dir/IR.cpp.o.d"
+  "libpgsd_ir.a"
+  "libpgsd_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_lir.dir/ISel.cpp.o"
+  "CMakeFiles/pgsd_lir.dir/ISel.cpp.o.d"
+  "CMakeFiles/pgsd_lir.dir/MIR.cpp.o"
+  "CMakeFiles/pgsd_lir.dir/MIR.cpp.o.d"
+  "CMakeFiles/pgsd_lir.dir/RegPlan.cpp.o"
+  "CMakeFiles/pgsd_lir.dir/RegPlan.cpp.o.d"
+  "libpgsd_lir.a"
+  "libpgsd_lir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pgsd_lir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_mexec.dir/Interp.cpp.o"
+  "CMakeFiles/pgsd_mexec.dir/Interp.cpp.o.d"
+  "libpgsd_mexec.a"
+  "libpgsd_mexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_mexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_passes.dir/Passes.cpp.o"
+  "CMakeFiles/pgsd_passes.dir/Passes.cpp.o.d"
+  "libpgsd_passes.a"
+  "libpgsd_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_profile.dir/Profile.cpp.o"
+  "CMakeFiles/pgsd_profile.dir/Profile.cpp.o.d"
+  "libpgsd_profile.a"
+  "libpgsd_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

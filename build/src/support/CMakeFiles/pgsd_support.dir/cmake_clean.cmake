@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_support.dir/Rng.cpp.o"
+  "CMakeFiles/pgsd_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/pgsd_support.dir/Statistics.cpp.o"
+  "CMakeFiles/pgsd_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/pgsd_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/pgsd_support.dir/TablePrinter.cpp.o.d"
+  "libpgsd_support.a"
+  "libpgsd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_workloads.dir/Php.cpp.o"
+  "CMakeFiles/pgsd_workloads.dir/Php.cpp.o.d"
+  "CMakeFiles/pgsd_workloads.dir/SpecLarge.cpp.o"
+  "CMakeFiles/pgsd_workloads.dir/SpecLarge.cpp.o.d"
+  "CMakeFiles/pgsd_workloads.dir/SpecMid.cpp.o"
+  "CMakeFiles/pgsd_workloads.dir/SpecMid.cpp.o.d"
+  "CMakeFiles/pgsd_workloads.dir/SpecSmall.cpp.o"
+  "CMakeFiles/pgsd_workloads.dir/SpecSmall.cpp.o.d"
+  "CMakeFiles/pgsd_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/pgsd_workloads.dir/Workloads.cpp.o.d"
+  "libpgsd_workloads.a"
+  "libpgsd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

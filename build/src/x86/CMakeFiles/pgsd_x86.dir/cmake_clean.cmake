@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsd_x86.dir/Decoder.cpp.o"
+  "CMakeFiles/pgsd_x86.dir/Decoder.cpp.o.d"
+  "CMakeFiles/pgsd_x86.dir/Disasm.cpp.o"
+  "CMakeFiles/pgsd_x86.dir/Disasm.cpp.o.d"
+  "CMakeFiles/pgsd_x86.dir/Encoder.cpp.o"
+  "CMakeFiles/pgsd_x86.dir/Encoder.cpp.o.d"
+  "CMakeFiles/pgsd_x86.dir/Nops.cpp.o"
+  "CMakeFiles/pgsd_x86.dir/Nops.cpp.o.d"
+  "CMakeFiles/pgsd_x86.dir/X86.cpp.o"
+  "CMakeFiles/pgsd_x86.dir/X86.cpp.o.d"
+  "libpgsd_x86.a"
+  "libpgsd_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsd_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

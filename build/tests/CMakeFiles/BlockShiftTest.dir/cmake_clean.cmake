@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BlockShiftTest"
+  "BlockShiftTest.pdb"
+  "CMakeFiles/BlockShiftTest.dir/BlockShiftTest.cpp.o"
+  "CMakeFiles/BlockShiftTest.dir/BlockShiftTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BlockShiftTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DecoderTest.dir/DecoderTest.cpp.o"
+  "CMakeFiles/DecoderTest.dir/DecoderTest.cpp.o.d"
+  "DecoderTest"
+  "DecoderTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DecoderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

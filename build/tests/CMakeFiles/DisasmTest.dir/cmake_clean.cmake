@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DisasmTest.dir/DisasmTest.cpp.o"
+  "CMakeFiles/DisasmTest.dir/DisasmTest.cpp.o.d"
+  "DisasmTest"
+  "DisasmTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DisasmTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

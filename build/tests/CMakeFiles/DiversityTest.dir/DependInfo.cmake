@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/DiversityTest.cpp" "tests/CMakeFiles/DiversityTest.dir/DiversityTest.cpp.o" "gcc" "tests/CMakeFiles/DiversityTest.dir/DiversityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/pgsd_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pgsd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/pgsd_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/pgsd_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/pgsd_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mexec/CMakeFiles/pgsd_mexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/pgsd_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/diversity/CMakeFiles/pgsd_diversity.dir/DependInfo.cmake"
+  "/root/repo/build/src/lir/CMakeFiles/pgsd_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pgsd_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadget/CMakeFiles/pgsd_gadget.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/pgsd_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pgsd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

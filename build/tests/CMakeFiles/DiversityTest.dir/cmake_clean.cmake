@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DiversityTest.dir/DiversityTest.cpp.o"
+  "CMakeFiles/DiversityTest.dir/DiversityTest.cpp.o.d"
+  "DiversityTest"
+  "DiversityTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DiversityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

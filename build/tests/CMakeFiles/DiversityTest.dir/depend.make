@@ -1,0 +1,2 @@
+# Empty dependencies file for DiversityTest.
+# This may be replaced when dependencies are built.

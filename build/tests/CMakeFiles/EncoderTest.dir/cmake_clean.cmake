@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EncoderTest.dir/EncoderTest.cpp.o"
+  "CMakeFiles/EncoderTest.dir/EncoderTest.cpp.o.d"
+  "EncoderTest"
+  "EncoderTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EncoderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

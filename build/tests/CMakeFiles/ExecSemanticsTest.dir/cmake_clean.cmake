@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExecSemanticsTest.dir/ExecSemanticsTest.cpp.o"
+  "CMakeFiles/ExecSemanticsTest.dir/ExecSemanticsTest.cpp.o.d"
+  "ExecSemanticsTest"
+  "ExecSemanticsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExecSemanticsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

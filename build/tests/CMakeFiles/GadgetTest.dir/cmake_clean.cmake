@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GadgetTest.dir/GadgetTest.cpp.o"
+  "CMakeFiles/GadgetTest.dir/GadgetTest.cpp.o.d"
+  "GadgetTest"
+  "GadgetTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GadgetTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for GadgetTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GoldenEncodingsTest.dir/GoldenEncodingsTest.cpp.o"
+  "CMakeFiles/GoldenEncodingsTest.dir/GoldenEncodingsTest.cpp.o.d"
+  "GoldenEncodingsTest"
+  "GoldenEncodingsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GoldenEncodingsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

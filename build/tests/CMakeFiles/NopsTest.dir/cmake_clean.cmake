@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/NopsTest.dir/NopsTest.cpp.o"
+  "CMakeFiles/NopsTest.dir/NopsTest.cpp.o.d"
+  "NopsTest"
+  "NopsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/NopsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for NopsTest.
+# This may be replaced when dependencies are built.

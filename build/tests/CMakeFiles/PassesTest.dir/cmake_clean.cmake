@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PassesTest.dir/PassesTest.cpp.o"
+  "CMakeFiles/PassesTest.dir/PassesTest.cpp.o.d"
+  "PassesTest"
+  "PassesTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PassesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProfileTest.dir/ProfileTest.cpp.o"
+  "CMakeFiles/ProfileTest.dir/ProfileTest.cpp.o.d"
+  "ProfileTest"
+  "ProfileTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProfileTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ProfileTest.
+# This may be replaced when dependencies are built.

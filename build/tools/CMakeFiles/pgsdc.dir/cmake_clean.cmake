@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgsdc.dir/pgsdc.cpp.o"
+  "CMakeFiles/pgsdc.dir/pgsdc.cpp.o.d"
+  "pgsdc"
+  "pgsdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgsdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
