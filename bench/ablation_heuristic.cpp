@@ -47,7 +47,7 @@ int main() {
   for (const char *Name : Names) {
     const workloads::Workload &W = workloads::specWorkload(Name);
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK || !driver::profileAndStamp(P, W.TrainInput)) {
+    if (!P.ok() || !driver::profileAndStamp(P, W.TrainInput)) {
       std::fprintf(stderr, "%s: setup failed\n", Name);
       return 1;
     }

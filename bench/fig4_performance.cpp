@@ -48,9 +48,9 @@ int main() {
 
   for (const workloads::Workload &W : workloads::specSuite()) {
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK) {
+    if (!P.ok()) {
       std::fprintf(stderr, "%s: compile failed\n%s", W.Name.c_str(),
-                   P.Errors.c_str());
+                   P.errors().c_str());
       return 1;
     }
     if (!driver::profileAndStamp(P, W.TrainInput)) {

@@ -144,7 +144,7 @@ static void BM_FullPipelineCompile(benchmark::State &State) {
   const workloads::Workload &W = workloads::specWorkload("401.bzip2");
   for (auto _ : State) {
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    benchmark::DoNotOptimize(P.OK);
+    benchmark::DoNotOptimize(P.ok());
   }
 }
 BENCHMARK(BM_FullPipelineCompile);

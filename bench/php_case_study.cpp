@@ -26,8 +26,8 @@ int main() {
   const unsigned NumVersions = bench::variantCount(25);
   workloads::Workload Php = workloads::phpInterpreter();
   driver::Program Base = driver::compileProgram(Php.Source, Php.Name);
-  if (!Base.OK) {
-    std::fprintf(stderr, "compile failed:\n%s", Base.Errors.c_str());
+  if (!Base.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", Base.errors().c_str());
     return 1;
   }
   codegen::Image BaseImage = driver::linkBaseline(Base);

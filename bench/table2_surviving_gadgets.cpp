@@ -47,7 +47,7 @@ int main() {
   std::vector<RowResult> Rows;
   for (const workloads::Workload &W : workloads::specSuite()) {
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK) {
+    if (!P.ok()) {
       std::fprintf(stderr, "%s: compile failed\n", W.Name.c_str());
       return 1;
     }

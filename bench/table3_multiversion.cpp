@@ -47,7 +47,7 @@ int main() {
   uint64_t StubGadgets = 0;
   for (const workloads::Workload &W : workloads::specSuite()) {
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK || !driver::profileAndStamp(P, W.TrainInput)) {
+    if (!P.ok() || !driver::profileAndStamp(P, W.TrainInput)) {
       std::fprintf(stderr, "%s: setup failed\n", W.Name.c_str());
       return 1;
     }
@@ -88,7 +88,7 @@ int main() {
   {
     const workloads::Workload &W = workloads::specWorkload("433.milc");
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK || !driver::profileAndStamp(P, W.TrainInput))
+    if (!P.ok() || !driver::profileAndStamp(P, W.TrainInput))
       return 1;
     auto Opts = Configs.back().Opts; // pNOP=0-30%
     std::vector<std::vector<uint8_t>> Fixed, Diversified;

@@ -56,8 +56,8 @@ static void report(const char *Tag, const gadget::AttackOutcome &O) {
 int main() {
   workloads::Workload Php = workloads::phpInterpreter();
   driver::Program P = driver::compileProgram(Php.Source, Php.Name);
-  if (!P.OK) {
-    std::fprintf(stderr, "compile failed:\n%s", P.Errors.c_str());
+  if (!P.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", P.errors().c_str());
     return 1;
   }
 

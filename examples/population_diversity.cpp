@@ -63,7 +63,7 @@ double overlap(const std::set<uint64_t> &A, const std::set<uint64_t> &B) {
 int main() {
   const workloads::Workload &W = workloads::specWorkload("433.milc");
   driver::Program P = driver::compileProgram(W.Source, W.Name);
-  if (!P.OK || !driver::profileAndStamp(P, W.TrainInput)) {
+  if (!P.ok() || !driver::profileAndStamp(P, W.TrainInput)) {
     std::fprintf(stderr, "setup failed\n");
     return 1;
   }

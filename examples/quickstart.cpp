@@ -64,8 +64,8 @@ fn main() {
 int main() {
   // 1. Compile (parse -> IR -> -O2 -> machine IR).
   driver::Program P = driver::compileProgram(Source, "quickstart");
-  if (!P.OK) {
-    std::fprintf(stderr, "compile failed:\n%s", P.Errors.c_str());
+  if (!P.ok()) {
+    std::fprintf(stderr, "compile failed:\n%s", P.errors().c_str());
     return 1;
   }
 

@@ -33,9 +33,9 @@ int main(int argc, char **argv) {
     if (Only && W.Name.find(Only) == std::string::npos)
       continue;
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    if (!P.OK) {
+    if (!P.ok()) {
       std::printf("%-16s COMPILE FAILED:\n%s\n", W.Name.c_str(),
-                  P.Errors.c_str());
+                  P.errors().c_str());
       AllOK = false;
       continue;
     }

@@ -12,6 +12,9 @@
 #include "lir/ISel.h"
 #include "passes/Passes.h"
 
+#include <cstdio>
+#include <utility>
+
 using namespace pgsd;
 using namespace pgsd::driver;
 
@@ -22,12 +25,14 @@ Program driver::compileProgram(std::string_view Source,
   std::vector<frontend::Diag> Diags;
   P.IR = frontend::compileToIR(Source, Name, Diags);
   if (!Diags.empty()) {
-    P.Errors = frontend::formatDiags(Diags);
+    P.Diags.add(verify::ErrorCode::ParseError,
+                frontend::formatDiags(Diags));
     return P;
   }
   std::string Problem = ir::verify(P.IR);
   if (!Problem.empty()) {
-    P.Errors = "internal error: IR does not verify: " + Problem;
+    P.Diags.add(verify::ErrorCode::IRInvalid,
+                "internal error: IR does not verify: " + Problem);
     return P;
   }
   if (Optimize)
@@ -38,11 +43,9 @@ Program driver::compileProgram(std::string_view Source,
   for (unsigned Iter = 0; Iter != 4 && lir::peephole(P.MIR) != 0; ++Iter)
     ;
   Problem = mir::verify(P.MIR);
-  if (!Problem.empty()) {
-    P.Errors = "internal error: MIR does not verify: " + Problem;
-    return P;
-  }
-  P.OK = true;
+  if (!Problem.empty())
+    P.Diags.add(verify::ErrorCode::MIRInvalid,
+                "internal error: MIR does not verify: " + Problem);
   return P;
 }
 
@@ -80,4 +83,49 @@ mexec::RunResult driver::execute(const mir::MModule &MIR,
   Opts.Input = Input;
   Opts.CollectOutput = CollectOutput;
   return mexec::run(MIR, Opts);
+}
+
+VerifiedVariant
+driver::makeVariantVerified(const Program &P,
+                            const diversity::DiversityOptions &Opts,
+                            uint64_t Seed,
+                            const verify::VerifyOptions &VOpts,
+                            const codegen::LinkOptions &Link) {
+  VerifiedVariant Out;
+  verify::VerifyOptions Effective = VOpts;
+  Effective.Link = Link;
+  unsigned Budget = VOpts.MaxAttempts == 0 ? 1 : VOpts.MaxAttempts;
+  for (unsigned Attempt = 0; Attempt != Budget; ++Attempt) {
+    uint64_t S = verify::deriveRetrySeed(Seed, Attempt);
+    Variant V = makeVariant(P, Opts, S, Link);
+    if (Effective.InjectFault)
+      Effective.InjectFault(V.MIR, V.Image, S);
+    verify::Report R = verify::verifyVariant(P.MIR, V.MIR, V.Image,
+                                             Effective);
+    Out.Attempts = Attempt + 1;
+    if (R.ok()) {
+      Out.V = std::move(V);
+      Out.SeedUsed = S;
+      return Out;
+    }
+    // Prefix each rejected attempt's diagnostics so a multi-attempt
+    // report reads as a timeline.
+    char Prefix[64];
+    std::snprintf(Prefix, sizeof(Prefix), "attempt %u (seed %llu): ",
+                  Attempt + 1, static_cast<unsigned long long>(S));
+    for (verify::Diagnostic &D : R.Diags)
+      Out.Report.add(D.Code, Prefix + D.Context);
+  }
+  // Every attempt failed: degrade to the undiversified baseline image
+  // rather than shipping an unverified variant or nothing at all.
+  Out.UsedFallback = true;
+  Out.SeedUsed = Seed;
+  Out.V.MIR = P.MIR;
+  Out.V.Image = linkBaseline(P, Link);
+  Out.V.Stats = diversity::InsertionStats();
+  Out.Report.add(verify::ErrorCode::RetriesExhausted,
+                 "all " + std::to_string(Budget) +
+                     " attempts failed verification; emitting "
+                     "undiversified baseline image");
+  return Out;
 }

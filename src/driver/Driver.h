@@ -34,6 +34,8 @@
 #include "lir/MIR.h"
 #include "mexec/Interp.h"
 #include "profile/Profile.h"
+#include "verify/Diagnostic.h"
+#include "verify/Verifier.h"
 
 #include <string>
 #include <string_view>
@@ -44,13 +46,17 @@ namespace driver {
 
 /// A compiled (but not yet diversified) program.
 struct Program {
-  bool OK = false;
-  std::string Errors;   ///< Diagnostics when !OK.
+  verify::Report Diags; ///< Structured diagnostics; empty when usable.
   std::string Name;
   ir::Module IR;        ///< After mid-level optimization.
   mir::MModule MIR;     ///< Machine IR; profile-stamped after
                         ///< profileAndStamp.
   bool HasProfile = false;
+
+  /// True when compilation succeeded and the program is usable.
+  bool ok() const { return Diags.ok(); }
+  /// All diagnostics rendered one per line (for logs and test output).
+  std::string errors() const { return Diags.str(); }
 };
 
 /// Compiles MiniC \p Source. \p Optimize runs the -O2-style pipeline.
@@ -83,6 +89,33 @@ codegen::Image linkBaseline(const Program &P,
 mexec::RunResult execute(const mir::MModule &MIR,
                          const std::vector<int32_t> &Input,
                          bool CollectOutput = false);
+
+/// A diversified build that has been through the verification pipeline.
+struct VerifiedVariant {
+  Variant V;              ///< Accepted variant, or the baseline fallback.
+  verify::Report Report;  ///< Diagnostics from every failed attempt.
+  uint64_t SeedUsed = 0;  ///< Seed of the accepted attempt.
+  unsigned Attempts = 0;  ///< Variant builds tried (1 when first passed).
+  bool UsedFallback = false; ///< True when V is the undiversified image.
+
+  /// True when a diversified variant passed verification.
+  bool ok() const { return !UsedFallback; }
+};
+
+/// Produces a *verified* diversified variant of \p P: builds a variant,
+/// runs verify::verifyVariant on it, and on failure retries with seeds
+/// from verify::deriveRetrySeed (bounded by VOpts.MaxAttempts). When
+/// every attempt fails, degrades gracefully to the undiversified
+/// baseline image and reports ErrorCode::RetriesExhausted instead of
+/// aborting -- a deployment pipeline prefers an unprotected-but-correct
+/// binary plus a loud diagnostic over no binary at all.
+VerifiedVariant
+makeVariantVerified(const Program &P,
+                    const diversity::DiversityOptions &Opts, uint64_t Seed,
+                    const verify::VerifyOptions &VOpts =
+                        verify::VerifyOptions(),
+                    const codegen::LinkOptions &Link =
+                        codegen::LinkOptions());
 
 } // namespace driver
 } // namespace pgsd

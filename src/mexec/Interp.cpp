@@ -109,8 +109,9 @@ public:
   RunResult run();
 
 private:
-  bool trap(const char *Reason) {
+  bool trap(TrapKind Kind, const char *Reason) {
     Result.Trapped = true;
+    Result.Trap = Kind;
     Result.TrapReason = Reason;
     return false;
   }
@@ -119,7 +120,7 @@ private:
 
   bool read32(uint32_t Addr, int32_t &Out) {
     if (Addr + 4 > Memory.size() || Addr < 0x1000)
-      return trap("memory read out of bounds");
+      return trap(TrapKind::BadMemory, "memory read out of bounds");
     Out = static_cast<int32_t>(
         static_cast<uint32_t>(Memory[Addr]) |
         (static_cast<uint32_t>(Memory[Addr + 1]) << 8) |
@@ -130,7 +131,7 @@ private:
 
   bool write32(uint32_t Addr, int32_t Value) {
     if (Addr + 4 > Memory.size() || Addr < 0x1000)
-      return trap("memory write out of bounds");
+      return trap(TrapKind::BadMemory, "memory write out of bounds");
     uint32_t V = static_cast<uint32_t>(Value);
     Memory[Addr] = static_cast<uint8_t>(V);
     Memory[Addr + 1] = static_cast<uint8_t>(V >> 8);
@@ -142,7 +143,7 @@ private:
   bool push(int32_t Value) {
     uint32_t ESP = static_cast<uint32_t>(reg(Reg::ESP)) - 4;
     if (ESP < codegen::StackLimit)
-      return trap("stack overflow");
+      return trap(TrapKind::StackOverflow, "stack overflow");
     reg(Reg::ESP) = static_cast<int32_t>(ESP);
     return write32(ESP, Value);
   }
@@ -185,7 +186,7 @@ bool Machine::enterFunction(uint32_t Func) {
   uint32_t NewESP = static_cast<uint32_t>(reg(Reg::ESP)) - F.FrameBytes -
                     4 * Saved;
   if (NewESP < codegen::StackLimit)
-    return trap("stack overflow");
+    return trap(TrapKind::StackOverflow, "stack overflow");
   reg(Reg::ESP) = static_cast<int32_t>(NewESP);
   Result.Cycles10 += Opts.Costs.Push + Opts.Costs.MovRR + Opts.Costs.Alu +
                      Saved * Opts.Costs.Push;
@@ -244,7 +245,7 @@ bool Machine::callIntrinsic(ir::Intrinsic Intr) {
     return true;
   }
   }
-  return trap("unknown intrinsic");
+  return trap(TrapKind::BadInstruction, "unknown intrinsic");
 }
 
 bool Machine::step(const MInstr &I, const MFunction &F) {
@@ -319,9 +320,9 @@ bool Machine::step(const MInstr &I, const MFunction &F) {
       return true;
     case x86::AluOp::Adc:
     case x86::AluOp::Sbb:
-      return trap("ADC/SBB not produced by codegen");
+      return trap(TrapKind::BadInstruction, "ADC/SBB not produced by codegen");
     }
-    return trap("bad ALU op");
+    return trap(TrapKind::BadInstruction, "bad ALU op");
   }
   case MOp::ImulRR:
     reg(I.Dst) = static_cast<int32_t>(
@@ -339,10 +340,10 @@ bool Machine::step(const MInstr &I, const MFunction &F) {
     int32_t Divisor = reg(I.Src);
     Result.Cycles10 += C.Idiv;
     if (Divisor == 0)
-      return trap("integer division by zero (#DE)");
+      return trap(TrapKind::DivideByZero, "integer division by zero (#DE)");
     int64_t Quot = Dividend / Divisor;
     if (Quot > INT32_MAX || Quot < INT32_MIN)
-      return trap("integer division overflow (#DE)");
+      return trap(TrapKind::DivideByZero, "integer division overflow (#DE)");
     reg(Reg::EAX) = static_cast<int32_t>(Quot);
     reg(Reg::EDX) = static_cast<int32_t>(Dividend % Divisor);
     return true;
@@ -373,7 +374,7 @@ bool Machine::step(const MInstr &I, const MFunction &F) {
       reg(I.Dst) = V >> Count;
       return true;
     }
-    return trap("bad shift op");
+    return trap(TrapKind::BadInstruction, "bad shift op");
   }
   case MOp::TestRR:
     Flags.IsTest = true;
@@ -413,7 +414,7 @@ bool Machine::step(const MInstr &I, const MFunction &F) {
     if (I.Target.IsIntrinsic)
       return callIntrinsic(I.Target.Intr);
     if (CallStack.size() >= Opts.MaxCallDepth)
-      return trap("call depth exceeded");
+      return trap(TrapKind::CallDepth, "call depth exceeded");
     Frame Fr;
     Fr.Func = CurFunc;
     Fr.Block = CurBlock;
@@ -478,7 +479,7 @@ bool Machine::step(const MInstr &I, const MFunction &F) {
     Result.Cycles10 += C.ProfInc;
     return true;
   }
-  return trap("unknown machine opcode");
+  return trap(TrapKind::BadInstruction, "unknown machine opcode");
 }
 
 RunResult Machine::run() {
@@ -524,7 +525,7 @@ RunResult Machine::run() {
     const MInstr &I = BB.Instrs[CurInstr++];
     ++Result.Instructions;
     if (Result.Instructions > Opts.MaxSteps) {
-      trap("instruction budget exceeded");
+      trap(TrapKind::StepBudget, "instruction budget exceeded");
       break;
     }
     if (!step(I, F))
@@ -534,6 +535,26 @@ RunResult Machine::run() {
 }
 
 } // namespace
+
+const char *mexec::trapKindName(TrapKind Kind) {
+  switch (Kind) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::StepBudget:
+    return "step-budget";
+  case TrapKind::CallDepth:
+    return "call-depth";
+  case TrapKind::DivideByZero:
+    return "divide-by-zero";
+  case TrapKind::BadMemory:
+    return "bad-memory";
+  case TrapKind::StackOverflow:
+    return "stack-overflow";
+  case TrapKind::BadInstruction:
+    return "bad-instruction";
+  }
+  return "unknown";
+}
 
 RunResult mexec::run(const MModule &M, const RunOptions &Opts) {
   Machine Mach(M, Opts);

@@ -78,9 +78,26 @@ struct RunOptions {
   CostModel Costs;
 };
 
+/// Machine-level classification of why a run trapped. The string
+/// TrapReason carries the human-readable detail; the kind is what
+/// programs (the variant verifier, the CLI exit-code mapping) switch on.
+enum class TrapKind : uint8_t {
+  None,           ///< The run did not trap.
+  StepBudget,     ///< RunOptions::MaxSteps exhausted.
+  CallDepth,      ///< RunOptions::MaxCallDepth exceeded.
+  DivideByZero,   ///< IDIV #DE: zero divisor or quotient overflow.
+  BadMemory,      ///< Load/store outside the flat memory image.
+  StackOverflow,  ///< ESP pushed below codegen::StackLimit.
+  BadInstruction, ///< Opcode/operand combination codegen never emits.
+};
+
+/// Returns a stable lowercase name ("step-budget", "bad-memory", ...).
+const char *trapKindName(TrapKind Kind);
+
 /// Result of one run.
 struct RunResult {
   bool Trapped = false;
+  TrapKind Trap = TrapKind::None;
   std::string TrapReason;
   int32_t ExitCode = 0;
   uint64_t Cycles10 = 0;      ///< Total cost in tenths of a cycle.

@@ -1,0 +1,357 @@
+//===-- verify/Verifier.cpp - Variant verification pipeline ----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verifier.h"
+
+#include "mexec/Interp.h"
+#include "support/Rng.h"
+#include "x86/Decoder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace pgsd;
+using namespace pgsd::verify;
+using namespace pgsd::mir;
+
+std::vector<std::vector<int32_t>> verify::defaultInputBattery() {
+  std::vector<std::vector<int32_t>> Battery;
+  Battery.push_back({});
+  Battery.push_back({0});
+  Battery.push_back({1});
+  Battery.push_back({-1, 0, 1});
+  Battery.push_back({7, 3, 255, -128, 64});
+  Battery.push_back({INT32_MAX, INT32_MIN, 0, 1, -1});
+  std::vector<int32_t> Ramp;
+  for (int32_t I = 0; I != 16; ++I)
+    Ramp.push_back(I * 3 - 8);
+  Battery.push_back(std::move(Ramp));
+  // A fixed pseudo-random stream (deterministic: the battery is part of
+  // the verification contract, not a fuzzer).
+  Rng Gen(0xba77e47ull);
+  std::vector<int32_t> Noise;
+  for (unsigned I = 0; I != 32; ++I)
+    Noise.push_back(static_cast<int32_t>(Gen.nextInRange(-1000, 1000)));
+  Battery.push_back(std::move(Noise));
+  return Battery;
+}
+
+uint64_t verify::deriveRetrySeed(uint64_t Seed, unsigned Attempt) {
+  if (Attempt == 0)
+    return Seed;
+  // One SplitMix64 finalization keyed by the attempt index: the schedule
+  // is a pure function of (Seed, Attempt) and decorrelated across
+  // attempts.
+  uint64_t Z = Seed + 0x9E3779B97F4A7C15ull * Attempt;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+namespace {
+
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string format(const char *Fmt, ...) {
+  char Buf[256];
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Ap);
+  va_end(Ap);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential execution
+//===----------------------------------------------------------------------===//
+
+void diffExecute(const MModule &Baseline, const MModule &Variant,
+                 const VerifyOptions &Opts, Report &R) {
+  const std::vector<std::vector<int32_t>> Default =
+      Opts.InputBattery.empty() ? defaultInputBattery()
+                                : std::vector<std::vector<int32_t>>();
+  const auto &Battery =
+      Opts.InputBattery.empty() ? Default : Opts.InputBattery;
+
+  for (size_t In = 0; In != Battery.size(); ++In) {
+    mexec::RunOptions Run;
+    Run.Input = Battery[In];
+    Run.CollectOutput = true;
+    Run.MaxSteps = Opts.MaxSteps;
+    mexec::RunResult RB = mexec::run(Baseline, Run);
+    if (RB.Trapped && RB.Trap == mexec::TrapKind::StepBudget)
+      continue; // Non-terminating on this input: nothing to compare.
+
+    // NOP insertion at most doubles the dynamic instruction count (one
+    // NOP per original instruction); block shifting adds one jump per
+    // call. Budget accordingly so legitimate NOPs never trip the limit.
+    Run.MaxSteps = RB.Instructions * 2 + 4096;
+    mexec::RunResult RV = mexec::run(Variant, Run);
+
+    if (RB.Trapped != RV.Trapped || RB.Trap != RV.Trap) {
+      R.add(ErrorCode::TrapMismatch,
+            format("input #%zu: baseline %s, variant %s", In,
+                   RB.Trapped ? mexec::trapKindName(RB.Trap) : "finished",
+                   RV.Trapped ? mexec::trapKindName(RV.Trap) : "finished"));
+      continue;
+    }
+    if (RB.Checksum != RV.Checksum)
+      R.add(ErrorCode::ChecksumMismatch,
+            format("input #%zu: %08x != %08x", In, RB.Checksum,
+                   RV.Checksum));
+    if (RB.Output != RV.Output)
+      R.add(ErrorCode::OutputMismatch,
+            format("input #%zu: %zu vs %zu output bytes", In,
+                   RB.Output.size(), RV.Output.size()));
+    if (!RB.Trapped && RB.ExitCode != RV.ExitCode)
+      R.add(ErrorCode::ExitCodeMismatch,
+            format("input #%zu: %d != %d", In, RB.ExitCode, RV.ExitCode));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structural invariant: variant minus NOPs == baseline
+//===----------------------------------------------------------------------===//
+
+/// Field-by-field instruction equality, with the variant's branch
+/// targets shifted down by \p BranchShift (nonzero when the variant
+/// carries a block-shift prelude).
+bool sameInstr(const MInstr &B, const MInstr &V, uint32_t BranchShift) {
+  if (B.Op != V.Op)
+    return false;
+  int32_t VImm = V.Imm;
+  if (V.Op == MOp::Jmp || V.Op == MOp::Jcc)
+    VImm -= static_cast<int32_t>(BranchShift);
+  if (B.Dst != V.Dst || B.Src != V.Src || B.Imm != VImm ||
+      B.Alu != V.Alu || B.Shift != V.Shift || B.CC != V.CC)
+    return false;
+  if (B.Op == MOp::Call) {
+    if (B.Target.IsIntrinsic != V.Target.IsIntrinsic)
+      return false;
+    if (B.Target.IsIntrinsic)
+      return B.Target.Intr == V.Target.Intr;
+    return B.Target.Func == V.Target.Func;
+  }
+  return true;
+}
+
+std::vector<const MInstr *> stripNops(const MBasicBlock &BB) {
+  std::vector<const MInstr *> Out;
+  Out.reserve(BB.Instrs.size());
+  for (const MInstr &I : BB.Instrs)
+    if (I.Op != MOp::Nop)
+      Out.push_back(&I);
+  return Out;
+}
+
+/// True when \p F starts with the two-block prelude insertBlockShift
+/// produces: `jmp 2` then an all-NOP pad ending in `jmp 2`.
+bool hasShiftPrelude(const MFunction &F, size_t BaselineBlocks) {
+  if (F.Blocks.size() != BaselineBlocks + 2)
+    return false;
+  auto B0 = stripNops(F.Blocks[0]);
+  auto B1 = stripNops(F.Blocks[1]);
+  auto IsJmp2 = [](const std::vector<const MInstr *> &Is) {
+    return Is.size() == 1 && Is[0]->Op == MOp::Jmp && Is[0]->Imm == 2;
+  };
+  return IsJmp2(B0) && IsJmp2(B1);
+}
+
+void diffStructure(const MModule &Baseline, const MModule &Variant,
+                   Report &R) {
+  if (Baseline.Functions.size() != Variant.Functions.size()) {
+    R.add(ErrorCode::StructuralMismatch,
+          format("function count %zu != %zu", Variant.Functions.size(),
+                 Baseline.Functions.size()));
+    return;
+  }
+  if (Baseline.EntryFunction != Variant.EntryFunction)
+    R.add(ErrorCode::StructuralMismatch, "entry function differs");
+
+  for (size_t FI = 0; FI != Baseline.Functions.size(); ++FI) {
+    const MFunction &BF = Baseline.Functions[FI];
+    const MFunction &VF = Variant.Functions[FI];
+    uint32_t Shift = 0;
+    if (hasShiftPrelude(VF, BF.Blocks.size())) {
+      Shift = 2;
+    } else if (VF.Blocks.size() != BF.Blocks.size()) {
+      R.add(ErrorCode::StructuralMismatch,
+            format("%s: block count %zu != %zu", BF.Name.c_str(),
+                   VF.Blocks.size(), BF.Blocks.size()));
+      continue;
+    }
+    for (size_t BI = 0; BI != BF.Blocks.size(); ++BI) {
+      const MBasicBlock &BB = BF.Blocks[BI];
+      const MBasicBlock &VB = VF.Blocks[BI + Shift];
+      if (BB.ProfileCount != VB.ProfileCount)
+        R.add(ErrorCode::StructuralMismatch,
+              format("%s block %zu: profile count %" PRIu64
+                     " != baseline %" PRIu64,
+                     BF.Name.c_str(), BI, VB.ProfileCount,
+                     BB.ProfileCount));
+      auto BIs = stripNops(BB);
+      auto VIs = stripNops(VB);
+      if (BIs.size() != VIs.size()) {
+        R.add(ErrorCode::StructuralMismatch,
+              format("%s block %zu: %zu non-NOP instrs vs baseline %zu",
+                     BF.Name.c_str(), BI, VIs.size(), BIs.size()));
+        continue;
+      }
+      for (size_t I = 0; I != BIs.size(); ++I)
+        if (!sameInstr(*BIs[I], *VIs[I], Shift)) {
+          R.add(ErrorCode::StructuralMismatch,
+                format("%s block %zu instr %zu: %s differs from baseline",
+                       BF.Name.c_str(), BI, I, mopName(VIs[I]->Op)));
+          break;
+        }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Profile flow conservation
+//===----------------------------------------------------------------------===//
+
+void checkProfileFlow(const MModule &M, Report &R) {
+  for (const MFunction &F : M.Functions) {
+    size_t N = F.Blocks.size();
+    // Sum of predecessor counts per block (128-bit: counts are u64).
+    std::vector<unsigned __int128> PredSum(N, 0);
+    for (uint32_t B = 0; B != N; ++B)
+      for (uint32_t S : F.successors(B))
+        PredSum[S] += F.Blocks[B].ProfileCount;
+
+    for (uint32_t B = 0; B != N; ++B) {
+      uint64_t C = F.Blocks[B].ProfileCount;
+      if (C == 0)
+        continue;
+      // Every execution of a non-entry block arrives over some CFG edge,
+      // and each predecessor contributes at most one arrival per
+      // execution of its own.
+      if (B != 0 && PredSum[B] < C) {
+        R.add(ErrorCode::ProfileFlowInvalid,
+              format("%s block %u: count %" PRIu64
+                     " exceeds combined predecessor count",
+                     F.Name.c_str(), B, C));
+        continue;
+      }
+      // Every execution of a non-returning block hands control to some
+      // successor.
+      std::vector<uint32_t> Succs = F.successors(B);
+      if (Succs.empty())
+        continue; // Ret-terminated.
+      unsigned __int128 SuccSum = 0;
+      for (uint32_t S : Succs)
+        SuccSum += F.Blocks[S].ProfileCount;
+      if (SuccSum < C)
+        R.add(ErrorCode::ProfileFlowInvalid,
+              format("%s block %u: count %" PRIu64
+                     " exceeds combined successor count",
+                     F.Name.c_str(), B, C));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Image integrity
+//===----------------------------------------------------------------------===//
+
+void checkImage(const MModule &Variant, const codegen::Image &Image,
+                const codegen::LinkOptions &Link, Report &R) {
+  // 1. Byte-exact round trip: linking is deterministic, so the image
+  // must equal a fresh emission of the MIR it claims to encode. This is
+  // the integrity check with full coverage -- any .text corruption,
+  // dropped relocation, or resequenced NOP shows up as a byte diff.
+  codegen::Image Fresh = codegen::link(Variant, Link);
+  if (Fresh.Text != Image.Text) {
+    size_t At = 0;
+    size_t Limit = std::min(Fresh.Text.size(), Image.Text.size());
+    while (At != Limit && Fresh.Text[At] == Image.Text[At])
+      ++At;
+    R.add(ErrorCode::ImageTextMismatch,
+          format(".text diverges from re-emission at offset %#zx "
+                 "(%zu vs %zu bytes)",
+                 At, Image.Text.size(), Fresh.Text.size()));
+  } else if (Fresh.FuncOffsets != Image.FuncOffsets ||
+             Fresh.EntryOffset != Image.EntryOffset) {
+    R.add(ErrorCode::ImageTextMismatch,
+          "function offset table diverges from re-emission");
+  }
+
+  // 2. Decode round trip: the whole image (stub, functions, alignment
+  // NOPs) must decode as valid IA-32 with every relative branch target
+  // inside the image.
+  const uint8_t *Bytes = Image.Text.data();
+  size_t Size = Image.Text.size();
+  size_t Off = 0;
+  while (Off < Size) {
+    x86::Decoded D;
+    if (!x86::decodeInstr(Bytes + Off, Size - Off, D)) {
+      R.add(ErrorCode::ImageDecodeInvalid,
+            format("invalid or truncated instruction at offset %#zx",
+                   Off));
+      return; // Stream is out of sync; later offsets are meaningless.
+    }
+    switch (D.Class) {
+    case x86::InstrClass::CallRel:
+    case x86::InstrClass::JmpRel:
+    case x86::InstrClass::Jcc:
+    case x86::InstrClass::Loop: {
+      int64_t Target =
+          static_cast<int64_t>(Off) + D.Length + D.Imm;
+      if (Target < 0 || Target >= static_cast<int64_t>(Size))
+        R.add(ErrorCode::BranchTargetOutOfRange,
+              format("branch at offset %#zx targets %+" PRId64
+                     " (image is %zu bytes)",
+                     Off, Target, Size));
+      break;
+    }
+    default:
+      break;
+    }
+    Off += D.Length;
+  }
+}
+
+} // namespace
+
+Report verify::verifyImage(const MModule &Variant,
+                           const codegen::Image &Image,
+                           const codegen::LinkOptions &Link) {
+  Report R;
+  checkImage(Variant, Image, Link, R);
+  return R;
+}
+
+Report verify::verifyProfileFlow(const MModule &M) {
+  Report R;
+  checkProfileFlow(M, R);
+  return R;
+}
+
+Report verify::verifyVariant(const MModule &Baseline,
+                             const MModule &Variant,
+                             const codegen::Image &Image,
+                             const VerifyOptions &Opts) {
+  Report R;
+  std::string Problem = mir::verify(Variant);
+  if (!Problem.empty()) {
+    R.add(ErrorCode::MIRInvalid, Problem);
+    return R; // Executing an invalid module would assert.
+  }
+  if (Opts.CheckStructure)
+    diffStructure(Baseline, Variant, R);
+  if (Opts.CheckProfile)
+    checkProfileFlow(Variant, R);
+  if (Opts.CheckImage)
+    checkImage(Variant, Image, Opts.Link, R);
+  diffExecute(Baseline, Variant, Opts, R);
+  return R;
+}

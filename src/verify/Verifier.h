@@ -1,0 +1,119 @@
+//===-- verify/Verifier.h - Variant verification pipeline -------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generate-and-check: the paper's claim that NOP insertion "does not
+/// affect program semantics" (Section 3) is trusted by construction in
+/// the transformation pass, and *checked* here before a variant is
+/// accepted. Every diversified build flows through verifyVariant, which
+/// runs three independent check families:
+///
+///  1. Differential execution: baseline and variant MIR run on a
+///     deterministic input battery; exit code, output checksum, output
+///     text, and trap behaviour must agree input-for-input.
+///  2. Image integrity: the linked .text must byte-match a deterministic
+///     re-emission of the variant MIR, decode end-to-end as valid IA-32,
+///     and keep every relative branch target inside the image.
+///  3. Structural invariant: deleting NOP instructions (and the optional
+///     block-shift prelude) from the variant MIR must reproduce the
+///     baseline MIR exactly -- instruction-for-instruction, profile
+///     counts included -- and stamped profile counts must respect CFG
+///     flow conservation.
+///
+/// The checks are deliberately redundant: a corrupted image is caught
+/// whether or not it changes behaviour on the battery, and a semantic
+/// divergence is caught whether or not the image decodes cleanly. The
+/// fault-injection harness (verify/FaultInjector.h) asserts that every
+/// supported corruption class trips at least one check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_VERIFY_VERIFIER_H
+#define PGSD_VERIFY_VERIFIER_H
+
+#include "codegen/Linker.h"
+#include "lir/MIR.h"
+#include "verify/Diagnostic.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pgsd {
+namespace verify {
+
+/// Configuration of one verification run.
+struct VerifyOptions {
+  /// Inputs for differential execution; when empty, defaultInputBattery()
+  /// is used. Each entry is one read_int() stream.
+  std::vector<std::vector<int32_t>> InputBattery;
+
+  /// Dynamic instruction budget for the baseline run of each input. The
+  /// variant run gets a proportionally larger budget (NOP insertion at
+  /// most doubles the dynamic instruction count), so a variant is never
+  /// failed for executing the NOPs it legitimately contains.
+  uint64_t MaxSteps = 50'000'000;
+
+  /// Enable the image-integrity family (re-link compare, decode walk,
+  /// branch-target bounds).
+  bool CheckImage = true;
+
+  /// Enable the NOP-only structural diff against the baseline MIR.
+  bool CheckStructure = true;
+
+  /// Enable CFG flow-conservation checks on stamped profile counts.
+  bool CheckProfile = true;
+
+  /// Link options the image under test was produced with; the re-link
+  /// comparison must use the same ones.
+  codegen::LinkOptions Link;
+
+  /// Retry budget for driver::makeVariantVerified (total attempts,
+  /// including the first).
+  unsigned MaxAttempts = 3;
+
+  /// Test seam: invoked on each candidate variant before verification
+  /// (fault-injection tests corrupt the candidate here). Receives the
+  /// variant MIR, its linked image, and the seed of the attempt.
+  std::function<void(mir::MModule &, codegen::Image &, uint64_t)>
+      InjectFault;
+};
+
+/// The deterministic input battery used when VerifyOptions::InputBattery
+/// is empty: edge-case streams (empty, zeros, negatives, boundary
+/// values) plus short pseudo-random streams.
+std::vector<std::vector<int32_t>> defaultInputBattery();
+
+/// Seed of retry attempt \p Attempt for base seed \p Seed. Attempt 0 is
+/// the seed itself; later attempts apply a SplitMix64-style mix so the
+/// schedule is deterministic yet decorrelated.
+uint64_t deriveRetrySeed(uint64_t Seed, unsigned Attempt);
+
+/// Verifies \p Variant (with linked image \p Image) against \p Baseline.
+/// Returns an empty report when the variant is behaviourally identical
+/// and structurally sound.
+Report verifyVariant(const mir::MModule &Baseline,
+                     const mir::MModule &Variant,
+                     const codegen::Image &Image,
+                     const VerifyOptions &Opts);
+
+/// The image-integrity family alone (re-link compare, decode walk,
+/// branch-target bounds). Exposed for tools that have an image but no
+/// baseline to diff against.
+Report verifyImage(const mir::MModule &Variant, const codegen::Image &Image,
+                   const codegen::LinkOptions &Link);
+
+/// The profile-sanity family alone: stamped per-block counts of \p M
+/// must satisfy CFG flow conservation (a block cannot execute more often
+/// than its predecessors combined, and an executed non-returning block
+/// must hand control to some successor).
+Report verifyProfileFlow(const mir::MModule &M);
+
+} // namespace verify
+} // namespace pgsd
+
+#endif // PGSD_VERIFY_VERIFIER_H

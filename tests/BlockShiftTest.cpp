@@ -33,7 +33,7 @@ driver::Program sampleProgram() {
     }
   )",
                                              "shift");
-  EXPECT_TRUE(P.OK) << P.Errors;
+  EXPECT_TRUE(P.ok()) << P.errors();
   EXPECT_TRUE(driver::profileAndStamp(P, {}));
   return P;
 }

@@ -20,7 +20,7 @@ namespace {
 
 driver::Program compileOK(const char *Source, const char *Name) {
   driver::Program P = driver::compileProgram(Source, Name);
-  EXPECT_TRUE(P.OK) << P.Errors;
+  EXPECT_TRUE(P.ok()) << P.errors();
   return P;
 }
 

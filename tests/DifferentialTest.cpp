@@ -187,10 +187,10 @@ TEST_P(DifferentialTest, AllPipelinesAgree) {
   SCOPED_TRACE(Source);
 
   driver::Program O2 = driver::compileProgram(Source, "fuzz");
-  ASSERT_TRUE(O2.OK) << O2.Errors;
+  ASSERT_TRUE(O2.ok()) << O2.errors();
   driver::Program O0 =
       driver::compileProgram(Source, "fuzz", /*Optimize=*/false);
-  ASSERT_TRUE(O0.OK) << O0.Errors;
+  ASSERT_TRUE(O0.ok()) << O0.errors();
 
   Observation Reference = observe(O0.MIR);
   EXPECT_EQ(observe(O2.MIR), Reference) << "-O2 diverged";

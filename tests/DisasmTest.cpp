@@ -101,7 +101,7 @@ TEST(Disasm, WholeImageNeverCrashesAndMostlyDecodes) {
       "global g[4]; fn f(a) { if (a > 2) { return a * 3; } "
       "return g[a & 3]; } fn main() { return f(read_int()); }",
       "img");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   codegen::Image Img = driver::linkBaseline(P);
   auto Lines =
       disassembleRange(Img.Text.data(), Img.Text.size(), 0,

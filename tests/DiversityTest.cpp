@@ -42,7 +42,7 @@ driver::Program hotColdProgram() {
     }
   )",
                                              "hotcold");
-  EXPECT_TRUE(P.OK) << P.Errors;
+  EXPECT_TRUE(P.ok()) << P.errors();
   EXPECT_TRUE(driver::profileAndStamp(P, {}));
   return P;
 }
@@ -229,7 +229,7 @@ TEST(NopInsertion, ProfiledSkipsHotCode) {
 TEST(NopInsertion, UnprofiledModuleGetsPMaxEverywhere) {
   driver::Program P = driver::compileProgram(
       "fn main() { sink(1); sink(2); sink(3); return 0; }", "unprofiled");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   DiversityOptions Opts =
       DiversityOptions::profiled(ProbabilityModel::Log, 0.0, 0.5);
   diversity::InsertionStats Stats;
@@ -267,7 +267,7 @@ TEST(NopInsertion, NopsPreserveFlagsAcrossCompareAndBranch) {
       "fn main() { var i = 0; var s = 0; while (i < 10) { "
       "if (i > 4) { s = s + 1; } i = i + 1; } print_int(s); return 0; }",
       "flags");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   mexec::RunResult Base = driver::execute(P.MIR, {}, true);
   DiversityOptions Opts = DiversityOptions::uniform(1.0);
   Opts.IncludeXchgNops = true;

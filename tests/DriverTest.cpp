@@ -14,21 +14,21 @@ using namespace pgsd;
 TEST(Driver, ReportsFrontendErrors) {
   driver::Program P =
       driver::compileProgram("fn main() { return undeclared; }", "bad");
-  EXPECT_FALSE(P.OK);
-  EXPECT_NE(P.Errors.find("undeclared"), std::string::npos);
+  EXPECT_FALSE(P.ok());
+  EXPECT_NE(P.errors().find("undeclared"), std::string::npos);
 }
 
 TEST(Driver, ReportsSyntaxErrorsWithLocations) {
   driver::Program P =
       driver::compileProgram("fn main() {\n  var x = ;\n}", "bad");
-  EXPECT_FALSE(P.OK);
-  EXPECT_NE(P.Errors.find("2:"), std::string::npos); // line number
+  EXPECT_FALSE(P.ok());
+  EXPECT_NE(P.errors().find("2:"), std::string::npos); // line number
 }
 
 TEST(Driver, ProfileAndStampFailsOnTrappingTrainingRun) {
   driver::Program P = driver::compileProgram(
       "fn main() { return 1 / read_int(); }", "trap");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   EXPECT_FALSE(driver::profileAndStamp(P, {0})); // division by zero
   EXPECT_FALSE(P.HasProfile);
   EXPECT_TRUE(driver::profileAndStamp(P, {4}));
@@ -38,7 +38,7 @@ TEST(Driver, ProfileAndStampFailsOnTrappingTrainingRun) {
 TEST(Driver, BaselineLinkIsDeterministic) {
   driver::Program P = driver::compileProgram(
       "global g[8]; fn main() { g[0] = 1; return g[0]; }", "det");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   codegen::Image A = driver::linkBaseline(P);
   codegen::Image B = driver::linkBaseline(P);
   EXPECT_EQ(A.Text, B.Text);
@@ -51,7 +51,7 @@ TEST(Driver, VariantIsDeterministicPerSeed) {
       "fn main() { var s = 0; var i = 0; while (i < 50) { s = s + i; "
       "i = i + 1; } return s; }",
       "var");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   auto Opts = diversity::DiversityOptions::uniform(0.5);
   driver::Variant A = driver::makeVariant(P, Opts, 3);
   driver::Variant B = driver::makeVariant(P, Opts, 3);
@@ -62,7 +62,7 @@ TEST(Driver, VariantIsDeterministicPerSeed) {
 TEST(Driver, OutputCollectionIsOptIn) {
   driver::Program P = driver::compileProgram(
       "fn main() { print_int(42); return 0; }", "out");
-  ASSERT_TRUE(P.OK);
+  ASSERT_TRUE(P.ok());
   mexec::RunResult Quiet = driver::execute(P.MIR, {}, false);
   EXPECT_TRUE(Quiet.Output.empty());
   mexec::RunResult Loud = driver::execute(P.MIR, {}, true);
@@ -76,8 +76,8 @@ TEST(Driver, UnoptimizedAndOptimizedShareInterface) {
       "fn main() { var x = 2 + 3; print_int(x * x); return 0; }";
   driver::Program O2 = driver::compileProgram(Source, "o2", true);
   driver::Program O0 = driver::compileProgram(Source, "o0", false);
-  ASSERT_TRUE(O2.OK);
-  ASSERT_TRUE(O0.OK);
+  ASSERT_TRUE(O2.ok());
+  ASSERT_TRUE(O0.ok());
   // -O2 emits strictly less machine code for this program.
   auto Count = [](const driver::Program &P) {
     size_t N = 0;

@@ -48,7 +48,7 @@ fn main() {
 )";
   workloads::appendColdLibrary(Source, 20, 99);
   driver::Program P = driver::compileProgram(Source, "bench");
-  EXPECT_TRUE(P.OK) << P.Errors;
+  EXPECT_TRUE(P.ok()) << P.errors();
   EXPECT_TRUE(driver::profileAndStamp(P, {}));
   return P;
 }
@@ -207,7 +207,7 @@ TEST(CaseStudy, AttackDiesOnEveryProfileAndVariant) {
   // A fast version of the Section 5.2 experiment: 2 scripts x 3 variants.
   workloads::Workload Php = workloads::phpInterpreter();
   driver::Program P = driver::compileProgram(Php.Source, Php.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   codegen::Image Base = driver::linkBaseline(P);
 
   auto BaseOutcome =
@@ -240,7 +240,7 @@ TEST(Scale, SurvivingFractionFallsWithBinarySize) {
   auto FractionFor = [](const char *Name) {
     const workloads::Workload &W = workloads::specWorkload(Name);
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    EXPECT_TRUE(P.OK);
+    EXPECT_TRUE(P.ok());
     EXPECT_TRUE(driver::profileAndStamp(P, W.TrainInput));
     codegen::Image Base = driver::linkBaseline(P);
     auto BaseGadgets =

@@ -286,7 +286,7 @@ class SemanticsTest : public ::testing::TestWithParam<Case> {};
 TEST_P(SemanticsTest, OptimizedPipeline) {
   const Case &C = GetParam();
   driver::Program P = driver::compileProgram(C.Source, C.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, C.Input, true);
   ASSERT_FALSE(R.Trapped) << R.TrapReason;
   EXPECT_EQ(R.Output, C.ExpectedOutput);
@@ -297,7 +297,7 @@ TEST_P(SemanticsTest, UnoptimizedPipelineAgrees) {
   const Case &C = GetParam();
   driver::Program P =
       driver::compileProgram(C.Source, C.Name, /*Optimize=*/false);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, C.Input, true);
   ASSERT_FALSE(R.Trapped) << R.TrapReason;
   EXPECT_EQ(R.Output, C.ExpectedOutput);
@@ -307,7 +307,7 @@ TEST_P(SemanticsTest, UnoptimizedPipelineAgrees) {
 TEST_P(SemanticsTest, DiversifiedVariantAgrees) {
   const Case &C = GetParam();
   driver::Program P = driver::compileProgram(C.Source, C.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   auto Opts = diversity::DiversityOptions::uniform(0.5);
   Opts.IncludeXchgNops = true; // exercise all seven candidates
   driver::Variant V = driver::makeVariant(P, Opts, /*Seed=*/1234);
@@ -329,7 +329,7 @@ INSTANTIATE_TEST_SUITE_P(Language, SemanticsTest, ::testing::ValuesIn(Cases),
 TEST(ExecTraps, DivisionByZero) {
   driver::Program P = driver::compileProgram(
       "fn main() { var z = read_int(); return 1 / z; }", "divzero");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, {0});
   EXPECT_TRUE(R.Trapped);
   EXPECT_NE(R.TrapReason.find("division"), std::string::npos);
@@ -339,7 +339,7 @@ TEST(ExecTraps, DivisionOverflow) {
   driver::Program P = driver::compileProgram(
       "fn main() { var m = 1 << 31; var d = read_int(); return m / d; }",
       "divovf");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, {-1});
   EXPECT_TRUE(R.Trapped);
 }
@@ -348,7 +348,7 @@ TEST(ExecTraps, WildStoreFaults) {
   driver::Program P = driver::compileProgram(
       "fn main() { array a[1]; var i = read_int(); a[i] = 1; return 0; }",
       "wild");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, {100000000});
   EXPECT_TRUE(R.Trapped);
 }
@@ -356,7 +356,7 @@ TEST(ExecTraps, WildStoreFaults) {
 TEST(ExecTraps, RunawayRecursionOverflowsStack) {
   driver::Program P = driver::compileProgram(
       "fn f(n) { return f(n + 1); } fn main() { return f(0); }", "deep");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult R = driver::execute(P.MIR, {});
   EXPECT_TRUE(R.Trapped);
 }
@@ -364,7 +364,7 @@ TEST(ExecTraps, RunawayRecursionOverflowsStack) {
 TEST(ExecTraps, InstructionBudget) {
   driver::Program P = driver::compileProgram(
       "fn main() { while (1) { sink(1); } return 0; }", "spin");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunOptions Opts;
   Opts.MaxSteps = 10000;
   mexec::RunResult R = mexec::run(P.MIR, Opts);
@@ -377,7 +377,7 @@ TEST(ExecDeterminism, ChecksumStableAcrossRuns) {
       "fn main() { var i = 0; while (i < 100) { sink(i * i); i = i + 1; } "
       "return 0; }",
       "det");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   mexec::RunResult A = driver::execute(P.MIR, {});
   mexec::RunResult B = driver::execute(P.MIR, {});
   EXPECT_EQ(A.Checksum, B.Checksum);

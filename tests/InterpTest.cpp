@@ -12,6 +12,8 @@
 
 #include "mexec/Interp.h"
 
+#include "driver/Driver.h"
+
 #include <gtest/gtest.h>
 
 using namespace pgsd;
@@ -164,4 +166,103 @@ TEST(InterpState, InstructionCountExact) {
   // cmpProgram executes exactly 5 instructions.
   mexec::RunResult R = mexec::run(cmpProgram(0, 0, CondCode::E), {});
   EXPECT_EQ(R.Instructions, 5u);
+}
+
+// --- trap classification ----------------------------------------------
+
+namespace {
+
+mexec::RunResult runSource(const char *Source, mexec::RunOptions Opts) {
+  driver::Program P = driver::compileProgram(Source, "trap");
+  EXPECT_TRUE(P.ok()) << P.errors();
+  return mexec::run(P.MIR, Opts);
+}
+
+} // namespace
+
+TEST(InterpTrap, CleanRunHasNoTrapKind) {
+  mexec::RunResult R = mexec::run(cmpProgram(1, 2, CondCode::L), {});
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::None);
+}
+
+TEST(InterpTrap, StepBudgetExhaustion) {
+  mexec::RunOptions Opts;
+  Opts.MaxSteps = 1000;
+  mexec::RunResult R = runSource(R"(
+    fn main() {
+      var i = 0;
+      while (i >= 0) { i = i + 1; }
+      return i;
+    }
+  )",
+                                 Opts);
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::StepBudget);
+}
+
+TEST(InterpTrap, CallDepthExceeded) {
+  mexec::RunOptions Opts;
+  Opts.MaxCallDepth = 16;
+  mexec::RunResult R = runSource(R"(
+    fn down(n) { return down(n + 1); }
+    fn main() { return down(0); }
+  )",
+                                 Opts);
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::CallDepth);
+}
+
+TEST(InterpTrap, DivideByZero) {
+  mexec::RunOptions Opts;
+  Opts.Input = {0};
+  mexec::RunResult R = runSource(R"(
+    fn main() { return 10 / read_int(); }
+  )",
+                                 Opts);
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::DivideByZero);
+}
+
+TEST(InterpTrap, DivideOverflowIsDivideByZero) {
+  // INT_MIN / -1 raises #DE on IA-32 exactly like a zero divisor.
+  mexec::RunOptions Opts;
+  Opts.Input = {INT32_MIN, -1};
+  mexec::RunResult R = runSource(R"(
+    fn main() { return read_int() / read_int(); }
+  )",
+                                 Opts);
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::DivideByZero);
+}
+
+TEST(InterpTrap, BadMemoryAccess) {
+  // Hand-built: load from far outside the flat memory image.
+  MModule M = cmpProgram(0, 0, CondCode::E);
+  auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  MInstr Bad;
+  Bad.Op = MOp::Load;
+  Bad.Dst = Reg::EAX;
+  Bad.Src = Reg::EAX;
+  Bad.Imm = INT32_MAX;
+  Instrs.insert(Instrs.begin(), Bad);
+  mexec::RunResult R = mexec::run(M, {});
+  ASSERT_TRUE(R.Trapped);
+  EXPECT_EQ(R.Trap, mexec::TrapKind::BadMemory);
+}
+
+TEST(InterpTrap, TrapKindNamesAreStable) {
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::None), "none");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::StepBudget),
+               "step-budget");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::CallDepth),
+               "call-depth");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::DivideByZero),
+               "divide-by-zero");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::BadMemory),
+               "bad-memory");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::StackOverflow),
+               "stack-overflow");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::BadInstruction),
+               "bad-instruction");
 }

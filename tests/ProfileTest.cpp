@@ -21,7 +21,7 @@ namespace {
 
 driver::Program compileOK(const char *Source, const char *Name) {
   driver::Program P = driver::compileProgram(Source, Name);
-  EXPECT_TRUE(P.OK) << P.Errors;
+  EXPECT_TRUE(P.ok()) << P.errors();
   return P;
 }
 
@@ -169,6 +169,45 @@ TEST(Profile, SerializationRoundTrips) {
   EXPECT_EQ(Back.MaxCount, Data.MaxCount);
 }
 
+TEST(Profile, DeserializeRejectsTruncatedFile) {
+  // A file cut mid-way (an interrupted write, a partial download) must
+  // be rejected, never silently loaded with missing functions.
+  driver::Program P = compileOK(
+      "fn g(n) { if (n > 3) { return n * 2; } return n; } "
+      "fn main() { var i = 1; while (i < 12) { i = i + g(i); } "
+      "return i; }",
+      "truncate");
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  ASSERT_FALSE(Data.empty());
+  std::string Text = profile::serializeProfile(Data);
+  size_t SecondFunc = Text.find("func", Text.find("func") + 1);
+  ASSERT_NE(SecondFunc, std::string::npos);
+  profile::ProfileData Out;
+  // Cutting inside the second function header leaves a malformed line:
+  // the parser must reject it.
+  EXPECT_FALSE(
+      profile::deserializeProfile(Text.substr(0, SecondFunc + 6), Out));
+  // Cutting exactly at a function boundary yields a file that parses --
+  // the text format cannot see the missing tail -- so the second layer
+  // of defense (the shape check against the program) must catch it.
+  ASSERT_TRUE(
+      profile::deserializeProfile(Text.substr(0, SecondFunc), Out));
+  EXPECT_LT(Out.BlockCounts.size(), P.MIR.Functions.size());
+}
+
+TEST(Profile, DeserializeRejectsCorruptCounts) {
+  driver::Program P = compileOK(
+      "fn main() { var i = 0; while (i < 8) { i = i + 1; } return i; }",
+      "corrupt");
+  profile::ProfileData Data = profile::profileModule(P.MIR, {});
+  std::string Text = profile::serializeProfile(Data);
+  profile::ProfileData Out;
+  // Out-of-range block id inside an otherwise valid file.
+  EXPECT_FALSE(profile::deserializeProfile(Text + "0 99999 7\n", Out));
+  // Non-numeric junk where a count line should be.
+  EXPECT_FALSE(profile::deserializeProfile(Text + "0 zero one\n", Out));
+}
+
 TEST(Profile, DeserializeRejectsGarbage) {
   profile::ProfileData Out;
   EXPECT_FALSE(profile::deserializeProfile("", Out));
@@ -185,7 +224,7 @@ TEST(Profile, TrainAndRefAgreeOnHotBlocks) {
   // premise that train profiles transfer to ref runs).
   const workloads::Workload &W = workloads::specWorkload("456.hmmer");
   driver::Program P = driver::compileProgram(W.Source, W.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   profile::ProfileData Train =
       profile::profileModule(P.MIR, mexec::RunOptions{.Input = W.TrainInput, .MaxSteps = 4ull << 30, .MaxCallDepth = 8192, .CollectBlockCounts = false, .CollectOutput = false, .Costs = {}});
   profile::ProfileData Ref =
@@ -214,7 +253,7 @@ class ProfileWorkloadTest : public ::testing::TestWithParam<const char *> {};
 TEST_P(ProfileWorkloadTest, RecoveryMatchesGroundTruth) {
   const workloads::Workload &W = workloads::specWorkload(GetParam());
   driver::Program P = driver::compileProgram(W.Source, W.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   auto Truth = groundTruth(P.MIR, W.TrainInput);
   profile::ProfileData Data =
       profile::profileModule(P.MIR, mexec::RunOptions{.Input = W.TrainInput, .MaxSteps = 4ull << 30, .MaxCallDepth = 8192, .CollectBlockCounts = false, .CollectOutput = false, .Costs = {}});

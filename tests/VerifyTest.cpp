@@ -1,0 +1,398 @@
+//===-- tests/VerifyTest.cpp - Variant verification pipeline tests ----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Two properties are load-bearing for a generate-and-check pipeline:
+//
+//  * No false positives: legitimately diversified variants -- across
+//    seeds, probability models, and workloads -- always verify clean
+//    (the sweep below checks 60 of them).
+//  * No false negatives on known faults: every corruption class the
+//    FaultInjector can produce trips the verifier, every time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "verify/FaultInjector.h"
+#include "verify/Verifier.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace pgsd;
+using diversity::DiversityOptions;
+using diversity::ProbabilityModel;
+
+namespace {
+
+driver::Program compileChecked(const char *Source, const char *Name,
+                               const std::vector<int32_t> &Train) {
+  driver::Program P = driver::compileProgram(Source, Name);
+  EXPECT_TRUE(P.ok()) << P.errors();
+  EXPECT_TRUE(driver::profileAndStamp(P, Train));
+  return P;
+}
+
+// Three small programs with distinct shapes: a hot loop with a cold
+// call, input-dependent branching, and straight-line arithmetic.
+driver::Program loopProgram() {
+  return compileChecked(R"(
+    fn coldpath(x) { return x * 3 + 7; }
+    fn main() {
+      var s = 0;
+      var i = 0;
+      while (i < 500) {
+        s = s + i * i;
+        i = i + 1;
+      }
+      if (s < 0) { s = coldpath(s); }
+      print_int(s);
+      return 0;
+    }
+  )",
+                        "loop", {});
+}
+
+driver::Program branchProgram() {
+  return compileChecked(R"(
+    fn classify(v) {
+      if (v < 0) { return 0 - v; }
+      if (v > 100) { return v % 101; }
+      return v;
+    }
+    fn main() {
+      var n = read_int();
+      var i = 0;
+      var acc = 0;
+      while (i < n) {
+        acc = acc + classify(read_int());
+        i = i + 1;
+      }
+      print_int(acc);
+      return acc % 7;
+    }
+  )",
+                        "branch", {3, 5, -9, 200});
+}
+
+driver::Program mathProgram() {
+  return compileChecked(R"(
+    fn main() {
+      var a = read_int();
+      var b = read_int();
+      var x = a * 17 + b;
+      x = x ^ (a - b);
+      x = x + a * b;
+      print_int(x);
+      return 0;
+    }
+  )",
+                        "math", {12, 34});
+}
+
+std::vector<DiversityOptions> sweepConfigs() {
+  return {
+      DiversityOptions::uniform(0.5),
+      DiversityOptions::uniform(1.0),
+      DiversityOptions::profiled(ProbabilityModel::Log, 0.0, 0.5),
+      DiversityOptions::profiled(ProbabilityModel::Linear, 0.1, 0.4),
+  };
+}
+
+} // namespace
+
+// --- retry seed schedule ----------------------------------------------
+
+TEST(RetrySeed, AttemptZeroIsIdentity) {
+  EXPECT_EQ(verify::deriveRetrySeed(42, 0), 42u);
+  EXPECT_EQ(verify::deriveRetrySeed(0, 0), 0u);
+}
+
+TEST(RetrySeed, ScheduleIsDeterministicAndDecorrelated) {
+  std::map<uint64_t, unsigned> Seen;
+  for (unsigned Attempt = 0; Attempt != 8; ++Attempt) {
+    uint64_t S = verify::deriveRetrySeed(7, Attempt);
+    EXPECT_EQ(S, verify::deriveRetrySeed(7, Attempt));
+    EXPECT_EQ(Seen.count(S), 0u) << "attempt " << Attempt
+                                 << " collides with " << Seen[S];
+    Seen[S] = Attempt;
+  }
+}
+
+// --- no false positives: clean variants always verify ------------------
+
+TEST(Verify, CleanVariantSweepHasNoFalsePositives) {
+  std::vector<driver::Program> Programs;
+  Programs.push_back(loopProgram());
+  Programs.push_back(branchProgram());
+  Programs.push_back(mathProgram());
+
+  unsigned Checked = 0;
+  verify::VerifyOptions VOpts;
+  for (driver::Program &P : Programs)
+    for (const DiversityOptions &Config : sweepConfigs())
+      for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+        driver::Variant V = driver::makeVariant(P, Config, Seed);
+        verify::Report R =
+            verify::verifyVariant(P.MIR, V.MIR, V.Image, VOpts);
+        EXPECT_TRUE(R.ok())
+            << P.Name << " " << Config.label() << " seed " << Seed
+            << " false positive:\n"
+            << R.str();
+        ++Checked;
+      }
+  // The acceptance bar: at least 50 distinct clean variants.
+  EXPECT_GE(Checked, 50u);
+}
+
+TEST(Verify, CleanWorkloadVariantVerifies) {
+  // One real (SPEC-modeled) workload through the same pipeline.
+  const workloads::Workload &W = workloads::specWorkload("429.mcf");
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ASSERT_TRUE(driver::profileAndStamp(P, W.TrainInput));
+  DiversityOptions Config =
+      DiversityOptions::profiled(ProbabilityModel::Log, 0.0, 0.3);
+  driver::Variant V = driver::makeVariant(P, Config, 11);
+  verify::Report R =
+      verify::verifyVariant(P.MIR, V.MIR, V.Image, verify::VerifyOptions());
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+// --- no false negatives: every injected fault is caught ----------------
+
+TEST(Verify, DetectsEveryInjectedFaultClass) {
+  driver::Program P = branchProgram();
+  DiversityOptions Config = DiversityOptions::uniform(0.6);
+  verify::VerifyOptions VOpts;
+
+  unsigned InjectedPerClass[verify::NumFaultClasses] = {};
+  for (unsigned C = 0; C != verify::NumFaultClasses; ++C) {
+    auto Class = static_cast<verify::FaultClass>(C);
+    for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+      driver::Variant V = driver::makeVariant(P, Config, Seed);
+      verify::FaultInjector Injector(/*Seed=*/Seed * 131 + C,
+                                     codegen::LinkOptions());
+      if (!Injector.inject(Class, V.MIR, V.Image))
+        continue; // No eligible site in this variant.
+      ++InjectedPerClass[C];
+      verify::Report R =
+          verify::verifyVariant(P.MIR, V.MIR, V.Image, VOpts);
+      EXPECT_FALSE(R.ok())
+          << verify::faultClassName(Class) << " seed " << Seed
+          << ": injected fault escaped the verifier";
+    }
+  }
+  // Every class must have been exercised at least once -- a class with
+  // no eligible site everywhere would silently test nothing.
+  for (unsigned C = 0; C != verify::NumFaultClasses; ++C)
+    EXPECT_GT(InjectedPerClass[C], 0u)
+        << verify::faultClassName(static_cast<verify::FaultClass>(C))
+        << " never found an injection site";
+}
+
+TEST(Verify, FaultClassesMapToExpectedDiagnostics) {
+  driver::Program P = branchProgram();
+  DiversityOptions Config = DiversityOptions::uniform(0.6);
+  verify::VerifyOptions VOpts;
+
+  // The image-level classes must trip the image-integrity family; the
+  // profile class must trip a profile/structural check.
+  struct Expect {
+    verify::FaultClass Class;
+    std::vector<verify::ErrorCode> AnyOf;
+  };
+  const std::vector<Expect> Cases = {
+      {verify::FaultClass::TextBitFlip,
+       {verify::ErrorCode::ImageTextMismatch}},
+      {verify::FaultClass::DroppedRelocation,
+       {verify::ErrorCode::ImageTextMismatch}},
+      {verify::FaultClass::TruncatedText,
+       {verify::ErrorCode::ImageTextMismatch,
+        verify::ErrorCode::ImageDecodeInvalid,
+        verify::ErrorCode::BranchTargetOutOfRange}},
+      {verify::FaultClass::WrongLengthNop,
+       {verify::ErrorCode::ImageTextMismatch}},
+      {verify::FaultClass::CorruptProfileCount,
+       {verify::ErrorCode::ProfileFlowInvalid,
+        verify::ErrorCode::StructuralMismatch}},
+  };
+  for (const Expect &E : Cases) {
+    bool Injected = false;
+    for (uint64_t Seed = 1; Seed <= 5 && !Injected; ++Seed) {
+      driver::Variant V = driver::makeVariant(P, Config, Seed);
+      verify::FaultInjector Injector(Seed, codegen::LinkOptions());
+      if (!Injector.inject(E.Class, V.MIR, V.Image))
+        continue;
+      Injected = true;
+      verify::Report R =
+          verify::verifyVariant(P.MIR, V.MIR, V.Image, VOpts);
+      bool Matched = false;
+      for (verify::ErrorCode Code : E.AnyOf)
+        Matched |= R.has(Code);
+      EXPECT_TRUE(Matched)
+          << verify::faultClassName(E.Class)
+          << " produced unexpected diagnostics:\n"
+          << R.str();
+    }
+    EXPECT_TRUE(Injected) << verify::faultClassName(E.Class);
+  }
+}
+
+// --- retry and graceful degradation ------------------------------------
+
+TEST(Verify, RetriesThenFallsBackToBaseline) {
+  driver::Program P = mathProgram();
+  DiversityOptions Config = DiversityOptions::uniform(0.5);
+
+  verify::VerifyOptions VOpts;
+  VOpts.MaxAttempts = 3;
+  // Corrupt every candidate: no seed can succeed.
+  VOpts.InjectFault = [](mir::MModule &, codegen::Image &Image, uint64_t) {
+    if (!Image.Text.empty())
+      Image.Text[Image.Text.size() / 2] ^= 0x40;
+  };
+
+  driver::VerifiedVariant VV =
+      driver::makeVariantVerified(P, Config, /*Seed=*/21, VOpts);
+  EXPECT_FALSE(VV.ok());
+  EXPECT_TRUE(VV.UsedFallback);
+  EXPECT_EQ(VV.Attempts, 3u);
+  EXPECT_TRUE(VV.Report.has(verify::ErrorCode::RetriesExhausted))
+      << VV.Report.str();
+  // Per-attempt diagnostics are preserved alongside the final verdict.
+  EXPECT_TRUE(VV.Report.has(verify::ErrorCode::ImageTextMismatch))
+      << VV.Report.str();
+  // The fallback is the undiversified baseline image, byte for byte.
+  codegen::Image Base = driver::linkBaseline(P);
+  EXPECT_EQ(VV.V.Image.Text, Base.Text);
+  EXPECT_EQ(VV.V.Stats.NopsInserted, 0u);
+}
+
+TEST(Verify, RetrySucceedsWithDerivedSeed) {
+  driver::Program P = mathProgram();
+  DiversityOptions Config = DiversityOptions::uniform(0.5);
+  const uint64_t Seed = 77;
+
+  verify::VerifyOptions VOpts;
+  VOpts.MaxAttempts = 3;
+  // Only the first attempt's candidate is corrupted; the reseeded retry
+  // must pass untouched.
+  VOpts.InjectFault = [Seed](mir::MModule &, codegen::Image &Image,
+                             uint64_t AttemptSeed) {
+    if (AttemptSeed == Seed && !Image.Text.empty())
+      Image.Text[0] ^= 0x01;
+  };
+
+  driver::VerifiedVariant VV =
+      driver::makeVariantVerified(P, Config, Seed, VOpts);
+  EXPECT_TRUE(VV.ok());
+  EXPECT_FALSE(VV.UsedFallback);
+  EXPECT_EQ(VV.Attempts, 2u);
+  EXPECT_EQ(VV.SeedUsed, verify::deriveRetrySeed(Seed, 1));
+  // The failed first attempt left its diagnostics behind.
+  EXPECT_FALSE(VV.Report.ok());
+  EXPECT_FALSE(VV.Report.has(verify::ErrorCode::RetriesExhausted));
+}
+
+TEST(Verify, FirstAttemptCleanPath) {
+  driver::Program P = loopProgram();
+  DiversityOptions Config =
+      DiversityOptions::profiled(ProbabilityModel::Log, 0.0, 0.4);
+  driver::VerifiedVariant VV =
+      driver::makeVariantVerified(P, Config, /*Seed=*/5);
+  EXPECT_TRUE(VV.ok());
+  EXPECT_EQ(VV.Attempts, 1u);
+  EXPECT_EQ(VV.SeedUsed, 5u);
+  EXPECT_TRUE(VV.Report.ok()) << VV.Report.str();
+}
+
+// --- individual check families -----------------------------------------
+
+TEST(Verify, ProfileFlowAcceptsStampedCounts) {
+  driver::Program P = branchProgram();
+  verify::Report R = verify::verifyProfileFlow(P.MIR);
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(Verify, ProfileFlowRejectsImpossibleCounts) {
+  driver::Program P = branchProgram();
+  mir::MModule M = P.MIR;
+  verify::FaultInjector Injector(3, codegen::LinkOptions());
+  codegen::Image Unused;
+  ASSERT_TRUE(Injector.inject(verify::FaultClass::CorruptProfileCount, M,
+                              Unused));
+  verify::Report R = verify::verifyProfileFlow(M);
+  EXPECT_TRUE(R.has(verify::ErrorCode::ProfileFlowInvalid)) << R.str();
+}
+
+TEST(Verify, ImageCheckAcceptsHonestLink) {
+  driver::Program P = mathProgram();
+  driver::Variant V =
+      driver::makeVariant(P, DiversityOptions::uniform(0.7), 9);
+  verify::Report R =
+      verify::verifyImage(V.MIR, V.Image, codegen::LinkOptions());
+  EXPECT_TRUE(R.ok()) << R.str();
+}
+
+TEST(Verify, StructuralCheckCatchesNonNopDivergence) {
+  driver::Program P = mathProgram();
+  driver::Variant V =
+      driver::makeVariant(P, DiversityOptions::uniform(0.5), 4);
+  // Mutate a real (non-NOP) instruction's immediate: still a valid,
+  // linkable program, but no longer NOP-equivalent to the baseline.
+  bool Mutated = false;
+  for (mir::MFunction &F : V.MIR.Functions) {
+    for (mir::MBasicBlock &BB : F.Blocks)
+      for (mir::MInstr &I : BB.Instrs)
+        if (!Mutated && I.Op == mir::MOp::MovRI) {
+          I.Imm += 1;
+          Mutated = true;
+        }
+  }
+  ASSERT_TRUE(Mutated);
+  codegen::Image Img = codegen::link(V.MIR, codegen::LinkOptions());
+  verify::VerifyOptions VOpts;
+  verify::Report R = verify::verifyVariant(P.MIR, V.MIR, Img, VOpts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.has(verify::ErrorCode::StructuralMismatch) ||
+              R.has(verify::ErrorCode::ChecksumMismatch) ||
+              R.has(verify::ErrorCode::OutputMismatch))
+      << R.str();
+}
+
+// --- diagnostics plumbing ----------------------------------------------
+
+TEST(Diagnostic, RendersCodeAndContext) {
+  verify::Diagnostic D{verify::ErrorCode::ChecksumMismatch, "input #2"};
+  EXPECT_EQ(D.str(), "[checksum-mismatch] input #2");
+}
+
+TEST(Diagnostic, ReportAccumulatesAndQueries) {
+  verify::Report R;
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(R.firstCode(), verify::ErrorCode::None);
+  R.add(verify::ErrorCode::ParseError, "line 3");
+  R.add(verify::ErrorCode::ImageTextMismatch, "offset 12");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.firstCode(), verify::ErrorCode::ParseError);
+  EXPECT_TRUE(R.has(verify::ErrorCode::ImageTextMismatch));
+  EXPECT_FALSE(R.has(verify::ErrorCode::ChecksumMismatch));
+  verify::Report Other;
+  Other.add(verify::ErrorCode::RetriesExhausted, "gave up");
+  R.merge(Other);
+  EXPECT_TRUE(R.has(verify::ErrorCode::RetriesExhausted));
+  EXPECT_NE(R.str().find("[retries-exhausted] gave up"),
+            std::string::npos);
+}
+
+TEST(Diagnostic, CompileErrorsCarryStructuredCodes) {
+  driver::Program P = driver::compileProgram("fn main() { return x; }",
+                                             "bad");
+  EXPECT_FALSE(P.ok());
+  EXPECT_EQ(P.Diags.firstCode(), verify::ErrorCode::ParseError);
+  EXPECT_NE(P.errors().find("parse-error"), std::string::npos);
+}

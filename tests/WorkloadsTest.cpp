@@ -56,7 +56,7 @@ TEST(Workloads, ColdLibraryCompilesAndDispatches) {
   std::string Source = "fn main() { return lib_dispatch(read_int(), 5); }\n";
   workloads::appendColdLibrary(Source, 12, 7);
   driver::Program P = driver::compileProgram(Source, "coldlib");
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   for (int Sel = 0; Sel != 12; ++Sel) {
     mexec::RunResult R = driver::execute(P.MIR, {Sel});
     EXPECT_FALSE(R.Trapped) << "selector " << Sel << ": " << R.TrapReason;
@@ -72,7 +72,7 @@ TEST(Workloads, TextSizesSpanTwoOrdersOfMagnitude) {
   size_t LbmSize = 0, XalanSize = 0;
   for (const Workload &W : workloads::specSuite()) {
     driver::Program P = driver::compileProgram(W.Source, W.Name);
-    ASSERT_TRUE(P.OK) << W.Name << ": " << P.Errors;
+    ASSERT_TRUE(P.ok()) << W.Name << ": " << P.errors();
     size_t Size = driver::linkBaseline(P).Text.size();
     if (W.Name == "470.lbm")
       LbmSize = Size;
@@ -91,7 +91,7 @@ class SpecWorkloadTest : public ::testing::TestWithParam<const char *> {};
 TEST_P(SpecWorkloadTest, CompilesProfilesAndPreservesSemantics) {
   const Workload &W = workloads::specWorkload(GetParam());
   driver::Program P = driver::compileProgram(W.Source, W.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   ASSERT_TRUE(driver::profileAndStamp(P, W.TrainInput));
 
   mexec::RunResult Base = driver::execute(P.MIR, W.TrainInput);
@@ -126,7 +126,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PhpWorkload, InterpreterRunsAllScripts) {
   Workload Php = workloads::phpInterpreter();
   driver::Program P = driver::compileProgram(Php.Source, Php.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   const auto &Scripts = workloads::clbgScripts();
   ASSERT_EQ(Scripts.size(), 7u);
   std::set<std::string> Names;
@@ -149,7 +149,7 @@ TEST(PhpWorkload, ScriptsExerciseDifferentOpcodes) {
   // hottest block sets differ between at least two scripts.
   Workload Php = workloads::phpInterpreter();
   driver::Program P = driver::compileProgram(Php.Source, Php.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
 
   auto ProfileChecksum = [&](const workloads::PhpScript &S) {
     profile::ProfileData Data =
@@ -174,7 +174,7 @@ TEST(PhpWorkload, ScriptsExerciseDifferentOpcodes) {
 TEST(PhpWorkload, VariantsAgreeOnScripts) {
   Workload Php = workloads::phpInterpreter();
   driver::Program P = driver::compileProgram(Php.Source, Php.Name);
-  ASSERT_TRUE(P.OK) << P.Errors;
+  ASSERT_TRUE(P.ok()) << P.errors();
   const auto &Script = workloads::clbgScripts()[1]; // fannkuchredux
   ASSERT_TRUE(driver::profileAndStamp(P, Script.Input));
   mexec::RunResult Base = driver::execute(P.MIR, Script.Input);

@@ -11,8 +11,14 @@
 //   pgsdc diversify file.minic [--profile file.prof] [--seed N]
 //         [--pmin 0] [--pmax 30] [--model log|linear|uniform]
 //         [--xchg] [--block-shift]
+//   pgsdc verify file.minic [--seed N ...as above] [--retries N]
 //   pgsdc gadgets file.minic [--seed N ...as above]
 //   pgsdc disasm file.minic
+//
+// Exit codes form a small taxonomy so scripts can tell failure modes
+// apart (see ExitCode below): 2 usage, 3 parse, 4 file I/O, 5 trap,
+// 6 verification failure, 7 bad profile; `run` passes the simulated
+// program's own exit code through.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +27,7 @@
 #include "gadget/Attack.h"
 #include "gadget/Scanner.h"
 #include "profile/Profile.h"
+#include "verify/Verifier.h"
 #include "x86/Disasm.h"
 
 #include <cstdio>
@@ -34,6 +41,19 @@ using namespace pgsd;
 
 namespace {
 
+/// Process exit codes. 1 is reserved for the simulated program's own
+/// nonzero exit status (`run` passes it through), so tool failures
+/// start at 2 and are distinct per failure class.
+enum ExitCode : int {
+  ExitOK = 0,
+  ExitUsage = 2,        ///< Bad command line.
+  ExitParse = 3,        ///< Source failed to compile.
+  ExitFileIO = 4,       ///< Cannot read or write a file.
+  ExitTrap = 5,         ///< Simulated program trapped.
+  ExitVerifyFailed = 6, ///< Variant failed verification.
+  ExitBadProfile = 7,   ///< Profile file malformed or mismatched.
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage: pgsdc <command> <file.minic> [options]\n"
@@ -42,6 +62,9 @@ int usage() {
                "  run        compile and execute in the cycle simulator\n"
                "  profile    training run; write per-block counts\n"
                "  diversify  build a diversified variant, report stats\n"
+               "  verify     build a variant and run the full verifier\n"
+               "             (differential + image + structural checks,\n"
+               "             retrying with derived seeds on failure)\n"
                "  gadgets    scan gadgets / check attack feasibility\n"
                "  disasm     disassemble the linked image\n"
                "\n"
@@ -54,8 +77,12 @@ int usage() {
                "  --model M           log (default) | linear | uniform\n"
                "  --xchg              include the bus-locking XCHG NOPs\n"
                "  --block-shift       also insert entry pad blocks\n"
-               "  --no-opt            disable the -O2 pipeline\n");
-  return 2;
+               "  --retries N         verification attempts (default 3)\n"
+               "  --no-opt            disable the -O2 pipeline\n"
+               "\n"
+               "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
+               "  5 program trapped, 6 verification failed, 7 bad profile\n");
+  return ExitUsage;
 }
 
 bool readFile(const std::string &Path, std::string &Out) {
@@ -95,6 +122,7 @@ struct Options {
   double PMin = 0.0;
   double PMax = 30.0;
   std::string Model = "log";
+  unsigned Retries = 3;
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -145,6 +173,21 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.Model = V;
+      if (Opts.Model != "log" && Opts.Model != "linear" &&
+          Opts.Model != "uniform") {
+        std::fprintf(stderr, "pgsdc: unknown model '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--retries") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Retries =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Retries == 0) {
+        std::fprintf(stderr, "pgsdc: --retries must be at least 1\n");
+        return false;
+      }
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -179,53 +222,54 @@ diversity::DiversityOptions diversityOptions(const Options &Opts) {
 }
 
 /// Loads the program and, when requested, applies a saved profile.
-bool loadProgram(const Options &Opts, driver::Program &P) {
+/// Returns ExitOK or the exit code describing what went wrong.
+int loadProgram(const Options &Opts, driver::Program &P) {
   std::string Source;
   if (!readFile(Opts.File, Source)) {
     std::fprintf(stderr, "pgsdc: cannot read '%s'\n", Opts.File.c_str());
-    return false;
+    return ExitFileIO;
   }
   P = driver::compileProgram(Source, Opts.File, Opts.Optimize);
-  if (!P.OK) {
-    std::fprintf(stderr, "%s", P.Errors.c_str());
-    return false;
+  if (!P.ok()) {
+    std::fprintf(stderr, "%s", P.errors().c_str());
+    return ExitParse;
   }
   if (!Opts.ProfileFile.empty()) {
     std::string Text;
     if (!readFile(Opts.ProfileFile, Text)) {
       std::fprintf(stderr, "pgsdc: cannot read profile '%s'\n",
                    Opts.ProfileFile.c_str());
-      return false;
+      return ExitFileIO;
     }
     profile::ProfileData Data;
     if (!deserializeProfile(Text, Data)) {
       std::fprintf(stderr, "pgsdc: malformed profile '%s'\n",
                    Opts.ProfileFile.c_str());
-      return false;
+      return ExitBadProfile;
     }
     if (Data.BlockCounts.size() != P.MIR.Functions.size()) {
       std::fprintf(stderr,
                    "pgsdc: profile does not match this program (did the "
                    "source change since training?)\n");
-      return false;
+      return ExitBadProfile;
     }
     profile::applyCounts(P.MIR, Data);
     P.HasProfile = true;
   }
-  return true;
+  return ExitOK;
 }
 
 int cmdRun(const Options &Opts) {
   driver::Program P;
-  if (!loadProgram(Opts, P))
-    return 1;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
   mexec::RunResult R =
       driver::execute(P.MIR, parseInput(Opts.InputText), true);
   std::fputs(R.Output.c_str(), stdout);
   if (R.Trapped) {
-    std::fprintf(stderr, "pgsdc: program trapped: %s\n",
-                 R.TrapReason.c_str());
-    return 1;
+    std::fprintf(stderr, "pgsdc: program trapped (%s): %s\n",
+                 mexec::trapKindName(R.Trap), R.TrapReason.c_str());
+    return ExitTrap;
   }
   std::fprintf(stderr,
                "exit=%d instructions=%llu cycles=%.0f checksum=%08x\n",
@@ -236,14 +280,14 @@ int cmdRun(const Options &Opts) {
 
 int cmdProfile(const Options &Opts) {
   driver::Program P;
-  if (!loadProgram(Opts, P))
-    return 1;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
   mexec::RunOptions Run;
   Run.Input = parseInput(Opts.InputText);
   profile::ProfileData Data = profile::profileModule(P.MIR, Run);
   if (Data.empty()) {
-    std::fprintf(stderr, "pgsdc: training run failed\n");
-    return 1;
+    std::fprintf(stderr, "pgsdc: training run trapped\n");
+    return ExitTrap;
   }
   std::string Text = profile::serializeProfile(Data);
   if (Opts.OutFile.empty()) {
@@ -251,17 +295,17 @@ int cmdProfile(const Options &Opts) {
   } else if (!writeFile(Opts.OutFile, Text)) {
     std::fprintf(stderr, "pgsdc: cannot write '%s'\n",
                  Opts.OutFile.c_str());
-    return 1;
+    return ExitFileIO;
   }
   std::fprintf(stderr, "profiled: xmax=%llu\n",
                static_cast<unsigned long long>(Data.MaxCount));
-  return 0;
+  return ExitOK;
 }
 
 int cmdDiversify(const Options &Opts) {
   driver::Program P;
-  if (!loadProgram(Opts, P))
-    return 1;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
   codegen::Image Base = driver::linkBaseline(P);
   auto BaseGadgets =
       gadget::scanGadgets(Base.Text.data(), Base.Text.size());
@@ -292,6 +336,16 @@ int cmdDiversify(const Options &Opts) {
   std::printf("gadgets: %zu baseline, %zu surviving at original offsets\n",
               BaseGadgets.size(), Survivors.size());
 
+  // Every diversified build flows through the verifier before the tool
+  // reports success.
+  verify::VerifyOptions VOpts;
+  verify::Report Report = verify::verifyVariant(P.MIR, V, Img, VOpts);
+  if (!Report.ok()) {
+    std::fprintf(stderr, "pgsdc: variant failed verification:\n%s",
+                 Report.str().c_str());
+    return ExitVerifyFailed;
+  }
+
   mexec::RunResult RBase =
       driver::execute(P.MIR, parseInput(Opts.InputText));
   mexec::RunResult RVar = driver::execute(V, parseInput(Opts.InputText));
@@ -300,15 +354,47 @@ int cmdDiversify(const Options &Opts) {
                 100.0 * (RVar.cycles() / RBase.cycles() - 1.0),
                 RBase.Checksum == RVar.Checksum ? "match" : "DIFFER");
     if (RBase.Checksum != RVar.Checksum)
-      return 1;
+      return ExitVerifyFailed;
   }
-  return 0;
+  return ExitOK;
+}
+
+int cmdVerify(const Options &Opts) {
+  driver::Program P;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
+  if (Opts.BlockShift)
+    std::fprintf(stderr, "pgsdc: note: verify builds NOP-insertion "
+                         "variants; --block-shift is ignored\n");
+  diversity::DiversityOptions D = diversityOptions(Opts);
+  verify::VerifyOptions VOpts;
+  VOpts.MaxAttempts = Opts.Retries;
+  driver::VerifiedVariant VV =
+      driver::makeVariantVerified(P, D, Opts.Seed, VOpts);
+  if (!VV.Report.ok())
+    std::fprintf(stderr, "%s", VV.Report.str().c_str());
+  if (!VV.ok()) {
+    std::fprintf(stderr,
+                 "pgsdc: verification failed after %u attempts; "
+                 "baseline image emitted\n",
+                 VV.Attempts);
+    return ExitVerifyFailed;
+  }
+  std::printf("verified: %s seed=%llu attempts=%u "
+              "(differential, image, structural checks passed)\n",
+              D.label().c_str(),
+              static_cast<unsigned long long>(VV.SeedUsed), VV.Attempts);
+  std::printf("nops inserted: %llu of %llu sites, .text %zu bytes\n",
+              static_cast<unsigned long long>(VV.V.Stats.NopsInserted),
+              static_cast<unsigned long long>(VV.V.Stats.CandidateSites),
+              VV.V.Image.Text.size());
+  return ExitOK;
 }
 
 int cmdGadgets(const Options &Opts) {
   driver::Program P;
-  if (!loadProgram(Opts, P))
-    return 1;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
   codegen::Image Img = driver::linkBaseline(P);
   auto Gadgets = gadget::scanGadgets(Img.Text.data(), Img.Text.size());
   auto Classified =
@@ -339,8 +425,8 @@ int cmdGadgets(const Options &Opts) {
 
 int cmdDisasm(const Options &Opts) {
   driver::Program P;
-  if (!loadProgram(Opts, P))
-    return 1;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
   codegen::Image Img = driver::linkBaseline(P);
   auto Lines = x86::disassembleRange(
       Img.Text.data(), Img.Text.size(), 0,
@@ -375,6 +461,8 @@ int main(int Argc, char **Argv) {
     return cmdProfile(Opts);
   if (Opts.Command == "diversify")
     return cmdDiversify(Opts);
+  if (Opts.Command == "verify")
+    return cmdVerify(Opts);
   if (Opts.Command == "gadgets")
     return cmdGadgets(Opts);
   if (Opts.Command == "disasm")
