@@ -1,0 +1,51 @@
+//===-- analysis/Checkers.h - Checker entry points (internal) ----*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal interface between the analysis driver (Analysis.cpp) and the
+/// checker implementations (Checkers.cpp). Each checker analyzes one
+/// function and appends location-tagged diagnostics to \p R, stopping
+/// once \p R holds MaxDiagnostics entries. Not part of the public API;
+/// tests and tools go through analysis::analyzeModule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_ANALYSIS_CHECKERS_H
+#define PGSD_ANALYSIS_CHECKERS_H
+
+#include "analysis/Analysis.h"
+
+namespace pgsd {
+namespace analysis {
+namespace detail {
+
+/// Structural gate: the flow-sensitive checkers run on a function only
+/// when this one accepts it (their solver indexes blocks by branch
+/// target and walks the trailing branch group).
+void checkCfgWellFormed(const mir::MModule &M, uint32_t FuncIdx,
+                        const AnalysisOptions &Opts, verify::Report &R);
+
+void checkRegLiveness(const mir::MModule &M, uint32_t FuncIdx,
+                      const AnalysisOptions &Opts, verify::Report &R);
+
+void checkEflagsFlow(const mir::MModule &M, uint32_t FuncIdx,
+                     const AnalysisOptions &Opts, verify::Report &R);
+
+void checkStackBalance(const mir::MModule &M, uint32_t FuncIdx,
+                       const AnalysisOptions &Opts, verify::Report &R);
+
+void checkFrameBounds(const mir::MModule &M, uint32_t FuncIdx,
+                      const AnalysisOptions &Opts, verify::Report &R);
+
+void checkCallConv(const mir::MModule &M, uint32_t FuncIdx,
+                   const AnalysisOptions &Opts, verify::Report &R);
+
+} // namespace detail
+} // namespace analysis
+} // namespace pgsd
+
+#endif // PGSD_ANALYSIS_CHECKERS_H

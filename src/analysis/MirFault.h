@@ -1,0 +1,68 @@
+//===-- analysis/MirFault.h - Seeded MIR-level fault injection ---*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded illegal mutations of machine IR, one class per analysis
+/// checker. This is the MIR-level sibling of verify/FaultInjector.h
+/// (which corrupts emitted images to exercise the *dynamic* verifier):
+/// each fault class here breaks exactly the invariant its paired checker
+/// proves, and the injector only picks sites where detection is
+/// guaranteed by construction -- e.g. DroppedDef removes a definition
+/// only when a later read in the same block is left with no reaching
+/// definition at all. Tests sweep seeds and assert a 100% catch rate per
+/// class; a miss is a checker bug, not an unlucky roll.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_ANALYSIS_MIRFAULT_H
+#define PGSD_ANALYSIS_MIRFAULT_H
+
+#include "analysis/Analysis.h"
+#include "lir/MIR.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pgsd {
+namespace analysis {
+
+/// The fault classes, index-aligned with CheckerKind: class C is built
+/// to be caught by checker static_cast<CheckerKind>(C).
+enum class MirFaultClass : uint8_t {
+  CfgBreak = 0,      ///< Retarget a branch/counter id out of range, or
+                     ///< plant an instruction after a terminator.
+  DroppedDef,        ///< Delete a definition a later read depends on.
+  FlagClobber,       ///< Insert a value-preserving, flag-clobbering ALU
+                     ///< op between a cmp/test and its Jcc/Setcc. The
+                     ///< interpreter's lazy flag model cannot see this;
+                     ///< only the static checker can.
+  UnbalancedPush,    ///< Insert an extra push on a path to a ret.
+  FrameEscape,       ///< Redirect a frame access outside its region.
+  CallContractBreak, ///< Delete the cdq before an idiv, or read a
+                     ///< caller-saved register right after a call.
+};
+
+/// Number of fault classes (for sweep loops).
+inline constexpr unsigned NumMirFaultClasses = 6;
+
+/// Returns a stable kebab-case name ("flag-clobber", ...).
+const char *mirFaultClassName(MirFaultClass C);
+
+/// Returns the checker whose diagnostic code class \p C must trigger.
+CheckerKind mirFaultTargetChecker(MirFaultClass C);
+
+/// Mutates \p M with one seeded fault of class \p C. Returns true when
+/// an eligible site existed (virtually always on real programs); false
+/// leaves \p M untouched. On success, \p Desc (when non-null) receives a
+/// one-line description of the mutation for test logs.
+bool injectMirFault(mir::MModule &M, MirFaultClass C, uint64_t Seed,
+                    std::string *Desc = nullptr);
+
+} // namespace analysis
+} // namespace pgsd
+
+#endif // PGSD_ANALYSIS_MIRFAULT_H

@@ -26,8 +26,8 @@ namespace {
 /// probability (the "also diversify the C library" extension).
 class StubBuilder {
 public:
-  StubBuilder(Encoder &E, Rng *StubRng, double NopProb)
-      : E(E), StubRng(StubRng), NopProb(NopProb) {}
+  StubBuilder(Encoder &Enc, Rng *R, double P)
+      : E(Enc), StubRng(R), NopProb(P) {}
 
   /// Rolls the diversification dice before one emitted instruction.
   void pre() {

@@ -7,6 +7,8 @@
 
 #include "diversity/NopInsertion.h"
 
+#include "analysis/Analysis.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -97,15 +99,25 @@ InsertionStats diversity::insertNops(MModule &M,
           Nop.Op = MOp::Nop;
           Nop.NopK =
               static_cast<x86::NopKind>(Generator.nextBelow(NumNops));
-          ++Stats.NopsInserted;
-          ++Stats.PerKind[static_cast<size_t>(Nop.NopK)];
-          Out.push_back(Nop);
+          // Candidates may land anywhere -- including between a cmp and
+          // its jcc -- only because every Table 1 NOP leaves EFLAGS
+          // alone. Ask the analyzer instead of trusting the table, so a
+          // future flag-touching candidate is rejected here rather than
+          // discovered as a broken variant downstream.
+          if (analysis::flagEffect(Nop) ==
+              analysis::FlagEffect::Neutral) {
+            ++Stats.NopsInserted;
+            ++Stats.PerKind[static_cast<size_t>(Nop.NopK)];
+            Out.push_back(Nop);
+          }
         }
         Out.push_back(I);
       }
       BB.Instrs = std::move(Out);
     }
   }
+  assert(analysis::checkEflags(M).ok() &&
+         "NOP insertion broke a flag def-use chain");
   return Stats;
 }
 
@@ -157,6 +169,8 @@ BlockShiftStats diversity::insertBlockShift(MModule &M, uint64_t Seed,
     ++Stats.FunctionsShifted;
   }
   assert(mir::verify(M).empty() && "block shifting broke the module");
+  assert(analysis::checkEflags(M).ok() &&
+         "block shifting broke a flag def-use chain");
   return Stats;
 }
 

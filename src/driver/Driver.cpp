@@ -7,6 +7,7 @@
 
 #include "driver/Driver.h"
 
+#include "analysis/Analysis.h"
 #include "frontend/Lower.h"
 #include "frontend/Parser.h"
 #include "lir/ISel.h"
@@ -43,9 +44,14 @@ Program driver::compileProgram(std::string_view Source,
   for (unsigned Iter = 0; Iter != 4 && lir::peephole(P.MIR) != 0; ++Iter)
     ;
   Problem = mir::verify(P.MIR);
-  if (!Problem.empty())
+  if (!Problem.empty()) {
     P.Diags.add(verify::ErrorCode::MIRInvalid,
                 "internal error: MIR does not verify: " + Problem);
+    return P;
+  }
+  // The baseline MIR must already uphold every invariant the analyzer
+  // proves; a diagnostic here is a backend bug, not a diversity bug.
+  P.Diags.merge(analysis::analyzeModule(P.MIR));
   return P;
 }
 
@@ -100,8 +106,15 @@ driver::makeVariantVerified(const Program &P,
     Variant V = makeVariant(P, Opts, S, Link);
     if (Effective.InjectFault)
       Effective.InjectFault(V.MIR, V.Image, S);
-    verify::Report R = verify::verifyVariant(P.MIR, V.MIR, V.Image,
-                                             Effective);
+    // Static screening first: when the analyzer can refute the variant
+    // from its MIR alone, skip the much more expensive differential
+    // execution and go straight to the next seed.
+    verify::Report R = analysis::analyzeModule(V.MIR);
+    if (!R.ok())
+      R.add(verify::ErrorCode::StaticAnalysisRejected,
+            "variant rejected by static analysis before execution");
+    else
+      R = verify::verifyVariant(P.MIR, V.MIR, V.Image, Effective);
     Out.Attempts = Attempt + 1;
     if (R.ok()) {
       Out.V = std::move(V);

@@ -15,7 +15,7 @@ namespace {
 /// Cursor over the source text tracking line/column.
 class Cursor {
 public:
-  explicit Cursor(std::string_view Source) : Source(Source) {}
+  explicit Cursor(std::string_view Text) : Source(Text) {}
 
   bool atEnd() const { return Pos >= Source.size(); }
   char peek(size_t Ahead = 0) const {

@@ -41,9 +41,9 @@ struct CalleeInfo {
 
 class Lowerer {
 public:
-  Lowerer(const Program &P, const std::string &ModuleName,
-          std::vector<Diag> &Diags)
-      : P(P), Diags(Diags) {
+  Lowerer(const Program &Prog, const std::string &ModuleName,
+          std::vector<Diag> &DiagSink)
+      : P(Prog), Diags(DiagSink) {
     M.Name = ModuleName;
   }
 

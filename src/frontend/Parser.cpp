@@ -65,8 +65,8 @@ int binaryPrec(TokKind K) {
 
 class Parser {
 public:
-  Parser(std::vector<Token> Toks, std::vector<Diag> &Diags)
-      : Toks(std::move(Toks)), Diags(Diags) {}
+  Parser(std::vector<Token> Tokens, std::vector<Diag> &DiagSink)
+      : Toks(std::move(Tokens)), Diags(DiagSink) {}
 
   Program parseProgram();
 

@@ -24,8 +24,8 @@ namespace {
 
 class Selector {
 public:
-  Selector(const ir::Module &M, const Function &F, mir::MFunction &MF)
-      : M(M), F(F), MF(MF), Plan(planFunction(F)) {
+  Selector(const ir::Module &Mod, const Function &Fn, mir::MFunction &Out)
+      : M(Mod), F(Fn), MF(Out), Plan(planFunction(Fn)) {
     computeKnownConstants();
   }
 

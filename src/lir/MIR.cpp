@@ -158,6 +158,110 @@ const char *shiftName(x86::ShiftOp Op) {
 
 } // namespace
 
+std::string mir::printInstr(const MInstr &I) {
+  std::string Out;
+  switch (I.Op) {
+  case MOp::MovRR:
+    appendf(Out, "mov %s, %s", regName(I.Dst), regName(I.Src));
+    break;
+  case MOp::MovRI:
+    appendf(Out, "mov %s, %d", regName(I.Dst), I.Imm);
+    break;
+  case MOp::MovGlobal:
+    appendf(Out, "mov %s, offset global#%d", regName(I.Dst), I.Imm);
+    break;
+  case MOp::Load:
+    appendf(Out, "mov %s, [%s%+d]", regName(I.Dst), regName(I.Src),
+            I.Imm);
+    break;
+  case MOp::Store:
+    appendf(Out, "mov [%s%+d], %s", regName(I.Dst), I.Imm,
+            regName(I.Src));
+    break;
+  case MOp::LoadFrame:
+    appendf(Out, "mov %s, [ebp%+d]", regName(I.Dst), I.Imm);
+    break;
+  case MOp::StoreFrame:
+    appendf(Out, "mov [ebp%+d], %s", I.Imm, regName(I.Src));
+    break;
+  case MOp::LeaFrame:
+    appendf(Out, "lea %s, [ebp%+d]", regName(I.Dst), I.Imm);
+    break;
+  case MOp::AluRR:
+    appendf(Out, "%s %s, %s", aluName(I.Alu), regName(I.Dst),
+            regName(I.Src));
+    break;
+  case MOp::AluRI:
+    appendf(Out, "%s %s, %d", aluName(I.Alu), regName(I.Dst), I.Imm);
+    break;
+  case MOp::ImulRR:
+    appendf(Out, "imul %s, %s", regName(I.Dst), regName(I.Src));
+    break;
+  case MOp::Cdq:
+    Out += "cdq";
+    break;
+  case MOp::Idiv:
+    appendf(Out, "idiv %s", regName(I.Src));
+    break;
+  case MOp::Neg:
+    appendf(Out, "neg %s", regName(I.Dst));
+    break;
+  case MOp::Not:
+    appendf(Out, "not %s", regName(I.Dst));
+    break;
+  case MOp::ShiftRI:
+    appendf(Out, "%s %s, %d", shiftName(I.Shift), regName(I.Dst),
+            I.Imm);
+    break;
+  case MOp::ShiftRC:
+    appendf(Out, "%s %s, cl", shiftName(I.Shift), regName(I.Dst));
+    break;
+  case MOp::TestRR:
+    appendf(Out, "test %s, %s", regName(I.Dst), regName(I.Src));
+    break;
+  case MOp::Setcc:
+    appendf(Out, "set%s %s(8)", condName(I.CC), regName(I.Dst));
+    break;
+  case MOp::Movzx8:
+    appendf(Out, "movzx %s, %s(8)", regName(I.Dst), regName(I.Src));
+    break;
+  case MOp::Push:
+    appendf(Out, "push %s", regName(I.Src));
+    break;
+  case MOp::PushI:
+    appendf(Out, "push %d", I.Imm);
+    break;
+  case MOp::Pop:
+    appendf(Out, "pop %s", regName(I.Dst));
+    break;
+  case MOp::AdjustSP:
+    appendf(Out, "add esp, %d", I.Imm);
+    break;
+  case MOp::Call:
+    if (I.Target.IsIntrinsic)
+      appendf(Out, "call %s", ir::intrinsicName(I.Target.Intr));
+    else
+      appendf(Out, "call func#%u", I.Target.Func);
+    break;
+  case MOp::Jmp:
+    appendf(Out, "jmp mbb%d", I.Imm);
+    break;
+  case MOp::Jcc:
+    appendf(Out, "j%s mbb%d", condName(I.CC), I.Imm);
+    break;
+  case MOp::Ret:
+    Out += "ret";
+    break;
+  case MOp::Nop:
+    appendf(Out, "nop ; %s", x86::nopInfo(I.NopK).Mnemonic);
+    break;
+  case MOp::ProfInc:
+    appendf(Out, "add dword [counter#%d], 1", I.Imm);
+    break;
+  }
+  return Out;
+}
+
 std::string mir::print(const MModule &M) {
   std::string Out;
   for (const MFunction &F : M.Functions) {
@@ -170,105 +274,7 @@ std::string mir::print(const MModule &M) {
               static_cast<unsigned long long>(BB.ProfileCount));
       for (const MInstr &I : BB.Instrs) {
         Out += "  ";
-        switch (I.Op) {
-        case MOp::MovRR:
-          appendf(Out, "mov %s, %s", regName(I.Dst), regName(I.Src));
-          break;
-        case MOp::MovRI:
-          appendf(Out, "mov %s, %d", regName(I.Dst), I.Imm);
-          break;
-        case MOp::MovGlobal:
-          appendf(Out, "mov %s, offset global#%d", regName(I.Dst), I.Imm);
-          break;
-        case MOp::Load:
-          appendf(Out, "mov %s, [%s%+d]", regName(I.Dst), regName(I.Src),
-                  I.Imm);
-          break;
-        case MOp::Store:
-          appendf(Out, "mov [%s%+d], %s", regName(I.Dst), I.Imm,
-                  regName(I.Src));
-          break;
-        case MOp::LoadFrame:
-          appendf(Out, "mov %s, [ebp%+d]", regName(I.Dst), I.Imm);
-          break;
-        case MOp::StoreFrame:
-          appendf(Out, "mov [ebp%+d], %s", I.Imm, regName(I.Src));
-          break;
-        case MOp::LeaFrame:
-          appendf(Out, "lea %s, [ebp%+d]", regName(I.Dst), I.Imm);
-          break;
-        case MOp::AluRR:
-          appendf(Out, "%s %s, %s", aluName(I.Alu), regName(I.Dst),
-                  regName(I.Src));
-          break;
-        case MOp::AluRI:
-          appendf(Out, "%s %s, %d", aluName(I.Alu), regName(I.Dst), I.Imm);
-          break;
-        case MOp::ImulRR:
-          appendf(Out, "imul %s, %s", regName(I.Dst), regName(I.Src));
-          break;
-        case MOp::Cdq:
-          Out += "cdq";
-          break;
-        case MOp::Idiv:
-          appendf(Out, "idiv %s", regName(I.Src));
-          break;
-        case MOp::Neg:
-          appendf(Out, "neg %s", regName(I.Dst));
-          break;
-        case MOp::Not:
-          appendf(Out, "not %s", regName(I.Dst));
-          break;
-        case MOp::ShiftRI:
-          appendf(Out, "%s %s, %d", shiftName(I.Shift), regName(I.Dst),
-                  I.Imm);
-          break;
-        case MOp::ShiftRC:
-          appendf(Out, "%s %s, cl", shiftName(I.Shift), regName(I.Dst));
-          break;
-        case MOp::TestRR:
-          appendf(Out, "test %s, %s", regName(I.Dst), regName(I.Src));
-          break;
-        case MOp::Setcc:
-          appendf(Out, "set%s %s(8)", condName(I.CC), regName(I.Dst));
-          break;
-        case MOp::Movzx8:
-          appendf(Out, "movzx %s, %s(8)", regName(I.Dst), regName(I.Src));
-          break;
-        case MOp::Push:
-          appendf(Out, "push %s", regName(I.Src));
-          break;
-        case MOp::PushI:
-          appendf(Out, "push %d", I.Imm);
-          break;
-        case MOp::Pop:
-          appendf(Out, "pop %s", regName(I.Dst));
-          break;
-        case MOp::AdjustSP:
-          appendf(Out, "add esp, %d", I.Imm);
-          break;
-        case MOp::Call:
-          if (I.Target.IsIntrinsic)
-            appendf(Out, "call %s", ir::intrinsicName(I.Target.Intr));
-          else
-            appendf(Out, "call func#%u", I.Target.Func);
-          break;
-        case MOp::Jmp:
-          appendf(Out, "jmp mbb%d", I.Imm);
-          break;
-        case MOp::Jcc:
-          appendf(Out, "j%s mbb%d", condName(I.CC), I.Imm);
-          break;
-        case MOp::Ret:
-          Out += "ret";
-          break;
-        case MOp::Nop:
-          appendf(Out, "nop ; %s", x86::nopInfo(I.NopK).Mnemonic);
-          break;
-        case MOp::ProfInc:
-          appendf(Out, "add dword [counter#%d], 1", I.Imm);
-          break;
-        }
+        Out += printInstr(I);
         Out += '\n';
       }
     }

@@ -130,6 +130,12 @@ struct MModule {
   uint32_t NumProfCounters = 0;    ///< Edge counters when instrumented.
 };
 
+/// Renders one instruction in the same assembler-like syntax print()
+/// uses for whole modules ("mov eax, ecx", "jl mbb3", ...). Diagnostics
+/// from the static analyzer embed this next to the instruction's
+/// function/block/index coordinates.
+std::string printInstr(const MInstr &I);
+
 /// Renders \p M as text for tests and debugging.
 std::string print(const MModule &M);
 

@@ -96,8 +96,8 @@ struct Frame {
 
 class Machine {
 public:
-  Machine(const MModule &M, const RunOptions &Opts)
-      : M(M), Opts(Opts), Memory(codegen::MemorySize, 0) {
+  Machine(const MModule &Mod, const RunOptions &RunOpts)
+      : M(Mod), Opts(RunOpts), Memory(codegen::MemorySize, 0) {
     GlobalAddrs.reserve(M.Globals.size());
     uint32_t Addr = codegen::GlobalsBase;
     for (const ir::Global &G : M.Globals) {

@@ -44,6 +44,20 @@ const char *verify::errorCodeName(ErrorCode Code) {
     return "branch-target-out-of-range";
   case ErrorCode::StructuralMismatch:
     return "structural-mismatch";
+  case ErrorCode::AnalysisCfgMalformed:
+    return "analysis-cfg-malformed";
+  case ErrorCode::AnalysisUseBeforeDef:
+    return "analysis-use-before-def";
+  case ErrorCode::AnalysisFlagsUnproven:
+    return "analysis-flags-unproven";
+  case ErrorCode::AnalysisStackImbalance:
+    return "analysis-stack-imbalance";
+  case ErrorCode::AnalysisFrameOutOfBounds:
+    return "analysis-frame-out-of-bounds";
+  case ErrorCode::AnalysisCallConvViolation:
+    return "analysis-callconv-violation";
+  case ErrorCode::StaticAnalysisRejected:
+    return "static-analysis-rejected";
   case ErrorCode::RetriesExhausted:
     return "retries-exhausted";
   case ErrorCode::FileIOError:

@@ -53,6 +53,17 @@ enum class ErrorCode : uint8_t {
   BranchTargetOutOfRange, ///< A rel branch escapes the image.
   StructuralMismatch,     ///< Variant minus NOPs != baseline MIR.
 
+  // Static analysis (analysis/): one code per checker, so tests and
+  // tools can assert *which* invariant a mutation broke.
+  AnalysisCfgMalformed,      ///< Terminators/targets/counter ids invalid.
+  AnalysisUseBeforeDef,      ///< Register read without a dominating def.
+  AnalysisFlagsUnproven,     ///< Jcc/Setcc not proven reached by cmp/test.
+  AnalysisStackImbalance,    ///< Push/pop depth broken on some path.
+  AnalysisFrameOutOfBounds,  ///< Frame access escapes its planned region.
+  AnalysisCallConvViolation, ///< cdecl contract broken at a call/idiv.
+  StaticAnalysisRejected,    ///< Summary code: the analyzer vetoed a
+                             ///< variant before differential execution.
+
   // Driver / CLI policy.
   RetriesExhausted, ///< All reseeded attempts failed; baseline used.
   FileIOError,      ///< A file could not be read or written.

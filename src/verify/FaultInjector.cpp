@@ -158,12 +158,15 @@ bool FaultInjector::corruptProfileCount(MModule &Variant) {
   MFunction &Fn = Variant.Functions[S.Func];
   // Flow conservation bounds a non-entry block by the sum of its
   // predecessors; exceed that bound so the count is provably impossible.
-  unsigned __int128 PredSum = 0;
+  // u128 so summed u64 counts cannot wrap (GCC/Clang extension; the
+  // __extension__ marker keeps -Wpedantic quiet about it).
+  __extension__ typedef unsigned __int128 u128;
+  u128 PredSum = 0;
   for (uint32_t B = 0; B != Fn.Blocks.size(); ++B)
     for (uint32_t Succ : Fn.successors(B))
       if (Succ == S.Block)
         PredSum += Fn.Blocks[B].ProfileCount;
-  unsigned __int128 Bogus = PredSum + 1000;
+  u128 Bogus = PredSum + 1000;
   Fn.Blocks[S.Block].ProfileCount =
       Bogus > UINT64_MAX ? UINT64_MAX
                          : static_cast<uint64_t>(Bogus);

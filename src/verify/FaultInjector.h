@@ -63,9 +63,9 @@ const char *faultClassName(FaultClass Class);
 class FaultInjector {
 public:
   explicit FaultInjector(uint64_t Seed,
-                         const codegen::LinkOptions &Link =
+                         const codegen::LinkOptions &LinkOpts =
                              codegen::LinkOptions())
-      : Gen(Seed), Link(Link) {}
+      : Gen(Seed), Link(LinkOpts) {}
 
   /// Corrupts \p Variant / \p Image. Returns false when the class has no
   /// eligible site in this variant (e.g. no two-byte NOP to mangle); the

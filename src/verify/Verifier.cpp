@@ -220,10 +220,13 @@ void diffStructure(const MModule &Baseline, const MModule &Variant,
 //===----------------------------------------------------------------------===//
 
 void checkProfileFlow(const MModule &M, Report &R) {
+  // u128 so summed u64 counts cannot wrap (GCC/Clang extension; the
+  // __extension__ marker keeps -Wpedantic quiet about it).
+  __extension__ typedef unsigned __int128 u128;
   for (const MFunction &F : M.Functions) {
     size_t N = F.Blocks.size();
     // Sum of predecessor counts per block (128-bit: counts are u64).
-    std::vector<unsigned __int128> PredSum(N, 0);
+    std::vector<u128> PredSum(N, 0);
     for (uint32_t B = 0; B != N; ++B)
       for (uint32_t S : F.successors(B))
         PredSum[S] += F.Blocks[B].ProfileCount;
@@ -247,7 +250,7 @@ void checkProfileFlow(const MModule &M, Report &R) {
       std::vector<uint32_t> Succs = F.successors(B);
       if (Succs.empty())
         continue; // Ret-terminated.
-      unsigned __int128 SuccSum = 0;
+      u128 SuccSum = 0;
       for (uint32_t S : Succs)
         SuccSum += F.Blocks[S].ProfileCount;
       if (SuccSum < C)

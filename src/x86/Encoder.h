@@ -53,7 +53,7 @@ enum class ShiftOp : uint8_t {
 /// Appends encoded IA-32 instructions to a byte buffer.
 class Encoder {
 public:
-  explicit Encoder(std::vector<uint8_t> &Out) : Out(Out) {}
+  explicit Encoder(std::vector<uint8_t> &Buffer) : Out(Buffer) {}
 
   /// Current offset, i.e. the position the next instruction starts at.
   size_t offset() const { return Out.size(); }

@@ -1,0 +1,86 @@
+//===-- tests/GoldenDiagnosticsTest.cpp - Pinned diagnostic text -----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Pins the exact rendered diagnostic for one seeded violation per
+// checker class over a fixed fixture program. The full string is the
+// contract: error-code name, function name, block index, instruction
+// index, the printed instruction at that location, and the prose. Any
+// drift in the pretty-printer, the location format, or checker wording
+// shows up here as a diff a reviewer can eyeball.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "analysis/MirFault.h"
+#include "driver/Driver.h"
+
+#include "gtest/gtest.h"
+
+using namespace pgsd;
+using analysis::MirFaultClass;
+
+namespace {
+
+// Small but checker-complete: division (cdq/idiv), a call (stack args +
+// caller-saved regs), a comparison feeding a branch (EFLAGS), locals
+// (frame slots), and a loop (join points for the dataflow meets).
+const char *FixtureSource = R"(
+fn avg(a, b) { return (a + b) / 2; }
+fn main() {
+  var n = read_int();
+  var total = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    total = avg(total, i);
+  }
+  print_int(total);
+  return total;
+}
+)";
+
+struct GoldenCase {
+  MirFaultClass Class;
+  uint64_t Seed;
+  const char *Expected;
+};
+
+const GoldenCase Cases[] = {
+    {MirFaultClass::CfgBreak, 7,
+     "[analysis-cfg-malformed] main: mbb2 #8 'jmp mbb7': branch target "
+     "mbb7 out of range (function has 4 blocks)"},
+    {MirFaultClass::DroppedDef, 7,
+     "[analysis-use-before-def] avg: mbb0 #1 'add eax, ecx': reads ecx, "
+     "which no definition reaches on every path from entry"},
+    {MirFaultClass::FlagClobber, 7,
+     "[analysis-flags-unproven] main: mbb1 #4 'jl mbb2': consumes "
+     "EFLAGS clobbered by 'add eax, 0' at mbb1 #3"},
+    {MirFaultClass::UnbalancedPush, 7,
+     "[analysis-stack-imbalance] main: mbb3 #5 'ret': returns with 4 "
+     "bytes still pushed"},
+    {MirFaultClass::FrameEscape, 7,
+     "[analysis-frame-out-of-bounds] main: mbb0 #1 'mov [ebp-52], eax': "
+     "frame access at [ebp-52] escapes the 44-byte frame"},
+    {MirFaultClass::CallContractBreak, 7,
+     "[analysis-callconv-violation] main: mbb2 #3 'mov eax, ecx': reads "
+     "ecx, which a preceding call clobbered (cdecl caller-saved), "
+     "before any redefinition"},
+};
+
+TEST(GoldenDiagnostics, PinnedTextPerCheckerClass) {
+  driver::Program P =
+      driver::compileProgram(FixtureSource, "golden.minic", true);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  for (const GoldenCase &C : Cases) {
+    mir::MModule Mutant = P.MIR;
+    std::string Desc;
+    ASSERT_TRUE(analysis::injectMirFault(Mutant, C.Class, C.Seed, &Desc))
+        << analysis::mirFaultClassName(C.Class);
+    verify::Report R = analysis::analyzeModule(Mutant);
+    ASSERT_FALSE(R.ok()) << analysis::mirFaultClassName(C.Class);
+    EXPECT_EQ(R.Diags.front().str(), C.Expected)
+        << analysis::mirFaultClassName(C.Class) << " (" << Desc << ")";
+  }
+}
+
+} // namespace

@@ -12,18 +12,22 @@
 //         [--pmin 0] [--pmax 30] [--model log|linear|uniform]
 //         [--xchg] [--block-shift]
 //   pgsdc verify file.minic [--seed N ...as above] [--retries N]
+//   pgsdc analyze file.minic [--variants N] [--seed N ...as above]
+//   pgsdc analyze --suite [--variants N]
 //   pgsdc gadgets file.minic [--seed N ...as above]
 //   pgsdc disasm file.minic
 //
 // Exit codes form a small taxonomy so scripts can tell failure modes
 // apart (see ExitCode below): 2 usage, 3 parse, 4 file I/O, 5 trap,
-// 6 verification failure, 7 bad profile; `run` passes the simulated
-// program's own exit code through.
+// 6 verification failure, 7 bad profile, 8 static analysis rejected;
+// `run` passes the simulated program's own exit code through.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Analysis.h"
 #include "diversity/NopInsertion.h"
 #include "driver/Driver.h"
+#include "workloads/Workloads.h"
 #include "gadget/Attack.h"
 #include "gadget/Scanner.h"
 #include "profile/Profile.h"
@@ -50,8 +54,9 @@ enum ExitCode : int {
   ExitParse = 3,        ///< Source failed to compile.
   ExitFileIO = 4,       ///< Cannot read or write a file.
   ExitTrap = 5,         ///< Simulated program trapped.
-  ExitVerifyFailed = 6, ///< Variant failed verification.
-  ExitBadProfile = 7,   ///< Profile file malformed or mismatched.
+  ExitVerifyFailed = 6,   ///< Variant failed verification.
+  ExitBadProfile = 7,     ///< Profile file malformed or mismatched.
+  ExitAnalysisFailed = 8, ///< Static analyzer rejected the MIR.
 };
 
 int usage() {
@@ -65,6 +70,10 @@ int usage() {
                "  verify     build a variant and run the full verifier\n"
                "             (differential + image + structural checks,\n"
                "             retrying with derived seeds on failure)\n"
+               "  analyze    run the static dataflow checkers over the\n"
+               "             baseline MIR and diversified variants; with\n"
+               "             --suite instead of a file, sweep the whole\n"
+               "             built-in workload battery\n"
                "  gadgets    scan gadgets / check attack feasibility\n"
                "  disasm     disassemble the linked image\n"
                "\n"
@@ -78,10 +87,12 @@ int usage() {
                "  --xchg              include the bus-locking XCHG NOPs\n"
                "  --block-shift       also insert entry pad blocks\n"
                "  --retries N         verification attempts (default 3)\n"
+               "  --variants N        variants per program (analyze)\n"
                "  --no-opt            disable the -O2 pipeline\n"
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
-               "  5 program trapped, 6 verification failed, 7 bad profile\n");
+               "  5 program trapped, 6 verification failed, 7 bad profile,\n"
+               "  8 static analysis rejected\n");
   return ExitUsage;
 }
 
@@ -123,6 +134,7 @@ struct Options {
   double PMax = 30.0;
   std::string Model = "log";
   unsigned Retries = 3;
+  unsigned Variants = 3;
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -188,6 +200,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr, "pgsdc: --retries must be at least 1\n");
         return false;
       }
+    } else if (Arg == "--variants") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Variants =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -378,7 +396,11 @@ int cmdVerify(const Options &Opts) {
                  "pgsdc: verification failed after %u attempts; "
                  "baseline image emitted\n",
                  VV.Attempts);
-    return ExitVerifyFailed;
+    // Distinguish "the analyzer refuted every variant before execution"
+    // from dynamic verification failures.
+    return VV.Report.has(verify::ErrorCode::StaticAnalysisRejected)
+               ? ExitAnalysisFailed
+               : ExitVerifyFailed;
   }
   std::printf("verified: %s seed=%llu attempts=%u "
               "(differential, image, structural checks passed)\n",
@@ -388,6 +410,97 @@ int cmdVerify(const Options &Opts) {
               static_cast<unsigned long long>(VV.V.Stats.NopsInserted),
               static_cast<unsigned long long>(VV.V.Stats.CandidateSites),
               VV.V.Image.Text.size());
+  return ExitOK;
+}
+
+/// Runs the six static checkers over \p P's baseline MIR plus
+/// Opts.Variants NOP-insertion variants and their block-shifted
+/// siblings. Returns the number of rejected modules.
+unsigned analyzeProgram(const driver::Program &P, const Options &Opts,
+                        const std::string &Label) {
+  unsigned Failed = 0;
+  auto Check = [&](const mir::MModule &M, const std::string &What) {
+    verify::Report R = analysis::analyzeModule(M);
+    if (R.ok())
+      return;
+    ++Failed;
+    std::fprintf(stderr,
+                 "pgsdc: %s (%s) rejected by static analysis:\n%s",
+                 Label.c_str(), What.c_str(), R.str().c_str());
+  };
+  Check(P.MIR, "baseline");
+  diversity::DiversityOptions D = diversityOptions(Opts);
+  for (unsigned V = 0; V != Opts.Variants; ++V) {
+    uint64_t Seed = Opts.Seed + V;
+    mir::MModule Var = diversity::makeVariant(P.MIR, D, Seed);
+    Check(Var, "variant seed=" + std::to_string(Seed));
+    diversity::insertBlockShift(Var, Seed ^ 0xb10c);
+    Check(Var, "block-shifted variant seed=" + std::to_string(Seed));
+  }
+  return Failed;
+}
+
+/// True when \p C is one of the analyzer's diagnostic codes.
+bool isAnalysisCode(verify::ErrorCode C) {
+  return C >= verify::ErrorCode::AnalysisCfgMalformed &&
+         C <= verify::ErrorCode::StaticAnalysisRejected;
+}
+
+int cmdAnalyzeSuite(const Options &Opts) {
+  unsigned Failed = 0;
+  unsigned Programs = 0;
+  auto RunOne = [&](const workloads::Workload &W) {
+    ++Programs;
+    driver::Program P =
+        driver::compileProgram(W.Source, W.Name, Opts.Optimize);
+    if (!P.ok()) {
+      // The workload battery is known-good MiniC; any failure here --
+      // frontend or analyzer -- counts against the sweep.
+      std::fprintf(stderr, "pgsdc: %s failed to compile:\n%s",
+                   W.Name.c_str(), P.errors().c_str());
+      ++Failed;
+      return;
+    }
+    Failed += analyzeProgram(P, Opts, W.Name);
+  };
+  for (const workloads::Workload &W : workloads::specSuite())
+    RunOne(W);
+  RunOne(workloads::phpInterpreter());
+  unsigned PerProgram = 1 + 2 * Opts.Variants;
+  if (Failed) {
+    std::fprintf(stderr, "pgsdc: analyze --suite: %u rejection(s)\n",
+                 Failed);
+    return ExitAnalysisFailed;
+  }
+  std::printf("analyze --suite: %u programs x %u modules clean "
+              "(%u checkers)\n",
+              Programs, PerProgram, analysis::NumCheckers);
+  return ExitOK;
+}
+
+int cmdAnalyze(const Options &Opts) {
+  if (Opts.File == "--suite")
+    return cmdAnalyzeSuite(Opts);
+  std::string Source;
+  if (!readFile(Opts.File, Source)) {
+    std::fprintf(stderr, "pgsdc: cannot read '%s'\n", Opts.File.c_str());
+    return ExitFileIO;
+  }
+  driver::Program P =
+      driver::compileProgram(Source, Opts.File, Opts.Optimize);
+  if (!P.ok()) {
+    // compileProgram already runs the analyzer over the baseline, so a
+    // backend bug surfaces here with an analysis code rather than a
+    // frontend one.
+    std::fprintf(stderr, "%s", P.errors().c_str());
+    return isAnalysisCode(P.Diags.firstCode()) ? ExitAnalysisFailed
+                                               : ExitParse;
+  }
+  if (analyzeProgram(P, Opts, Opts.File))
+    return ExitAnalysisFailed;
+  std::printf("analyze: %s: baseline + %u variants clean (%u checkers)\n",
+              Opts.File.c_str(), 2 * Opts.Variants,
+              analysis::NumCheckers);
   return ExitOK;
 }
 
@@ -463,6 +576,8 @@ int main(int Argc, char **Argv) {
     return cmdDiversify(Opts);
   if (Opts.Command == "verify")
     return cmdVerify(Opts);
+  if (Opts.Command == "analyze")
+    return cmdAnalyze(Opts);
   if (Opts.Command == "gadgets")
     return cmdGadgets(Opts);
   if (Opts.Command == "disasm")
