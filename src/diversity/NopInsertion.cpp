@@ -75,8 +75,14 @@ double diversity::nopProbability(uint64_t Count, uint64_t MaxCount,
 
 InsertionStats diversity::insertNops(MModule &M,
                                      const DiversityOptions &Opts) {
-  InsertionStats Stats;
   Rng Generator(Opts.Seed);
+  return insertNops(M, Opts, Generator);
+}
+
+InsertionStats diversity::insertNops(MModule &M,
+                                     const DiversityOptions &Opts,
+                                     Rng &Generator) {
+  InsertionStats Stats;
   unsigned NumNops =
       Opts.IncludeXchgNops ? x86::NumNopKinds : x86::NumDefaultNopKinds;
 
@@ -124,9 +130,15 @@ InsertionStats diversity::insertNops(MModule &M,
 BlockShiftStats diversity::insertBlockShift(MModule &M, uint64_t Seed,
                                             unsigned MaxPadding,
                                             bool IncludeXchgNops) {
+  Rng Generator(Seed);
+  return insertBlockShift(M, Generator, MaxPadding, IncludeXchgNops);
+}
+
+BlockShiftStats diversity::insertBlockShift(MModule &M, Rng &Generator,
+                                            unsigned MaxPadding,
+                                            bool IncludeXchgNops) {
   assert(MaxPadding >= 1 && "padding must be at least one instruction");
   BlockShiftStats Stats;
-  Rng Generator(Seed);
   unsigned NumNops =
       IncludeXchgNops ? x86::NumNopKinds : x86::NumDefaultNopKinds;
 

@@ -94,6 +94,14 @@ double nopProbability(uint64_t Count, uint64_t MaxCount,
 /// free to diversify maximally.
 InsertionStats insertNops(mir::MModule &M, const DiversityOptions &Opts);
 
+/// Same pass, but drawing randomness from a caller-owned \p Generator
+/// instead of constructing one from Opts.Seed. Batch workers hand each
+/// variant a stream derived via Rng::split so per-variant streams are
+/// pure functions of their seeds and can never collide through
+/// re-seeding (Opts.Seed is ignored by this overload).
+InsertionStats insertNops(mir::MModule &M, const DiversityOptions &Opts,
+                          Rng &Generator);
+
 /// Convenience: returns a diversified copy of \p M without mutating it.
 mir::MModule makeVariant(const mir::MModule &M, DiversityOptions Opts,
                          uint64_t Seed, InsertionStats *Stats = nullptr);
@@ -116,6 +124,12 @@ struct BlockShiftStats {
 /// amount at a cost of one executed jump per call. Run it before
 /// insertNops so the (cold) pad block also receives NOP diversity.
 BlockShiftStats insertBlockShift(mir::MModule &M, uint64_t Seed,
+                                 unsigned MaxPadding = 12,
+                                 bool IncludeXchgNops = false);
+
+/// Overload drawing randomness from a caller-owned \p Generator (see the
+/// insertNops overload for why batch workers need this).
+BlockShiftStats insertBlockShift(mir::MModule &M, Rng &Generator,
                                  unsigned MaxPadding = 12,
                                  bool IncludeXchgNops = false);
 

@@ -1,0 +1,66 @@
+//===-- driver/Batch.cpp - Parallel variant factory ------------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Batch.h"
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <ctime>
+
+using namespace pgsd;
+using namespace pgsd::driver;
+
+BatchResult driver::makeVariantsBatch(const Program &P,
+                                      const diversity::DiversityOptions &Opts,
+                                      const std::vector<uint64_t> &Seeds,
+                                      const BatchOptions &BOpts) {
+  BatchResult R;
+  R.Jobs = BOpts.Jobs == 0 ? support::ThreadPool::defaultConcurrency()
+                           : BOpts.Jobs;
+  R.Variants.resize(Seeds.size());
+
+  auto WallStart = std::chrono::steady_clock::now();
+  std::clock_t CpuStart = std::clock();
+
+  if (R.Jobs == 1) {
+    // Inline serial path: no pool threads, so the throughput bench's
+    // Jobs=1 baseline measures the pipeline alone, not thread overhead.
+    for (size_t I = 0; I != Seeds.size(); ++I)
+      R.Variants[I] =
+          makeVariantVerified(P, Opts, Seeds[I], BOpts.Verify, BOpts.Link);
+  } else {
+    support::ThreadPool Pool(R.Jobs);
+    for (size_t I = 0; I != Seeds.size(); ++I) {
+      // Each task reads the shared immutable Program and writes only its
+      // own pre-sized slot; Pool.wait() is the synchronization point
+      // that publishes every slot to this thread.
+      Pool.enqueue([&R, &P, &Opts, &Seeds, &BOpts, I] {
+        R.Variants[I] = makeVariantVerified(P, Opts, Seeds[I],
+                                            BOpts.Verify, BOpts.Link);
+      });
+    }
+    Pool.wait();
+  }
+
+  R.WallSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+  R.CpuSeconds = static_cast<double>(std::clock() - CpuStart) /
+                 static_cast<double>(CLOCKS_PER_SEC);
+
+  for (const VerifiedVariant &V : R.Variants) {
+    R.TotalAttempts += V.Attempts;
+    if (V.ok())
+      ++R.Accepted;
+    else
+      ++R.Rejected;
+    if (V.Attempts > 1)
+      ++R.Retried;
+  }
+  return R;
+}

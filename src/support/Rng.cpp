@@ -63,3 +63,12 @@ uint64_t Rng::nextBelow(uint64_t Bound) {
 Rng Rng::fork() {
   return Rng(next());
 }
+
+Rng Rng::split(uint64_t Stream) const {
+  // Mix the stream index with the (unmodified) state through two rounds
+  // of SplitMix64 so that split(K) and split(K+1) are decorrelated even
+  // for adjacent K, and so parents with nearby seeds do not alias.
+  uint64_t X = Stream ^ 0xa0761d6478bd642full;
+  uint64_t Mixed = State[0] ^ rotl(State[2], 23) ^ splitMix64(X);
+  return Rng(splitMix64(Mixed));
+}

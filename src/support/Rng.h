@@ -72,7 +72,18 @@ public:
   /// Derives an independent child generator; used to give each function or
   /// variant its own stream so insertion decisions in one function do not
   /// perturb another.
+  ///
+  /// Unlike split(), fork() *consumes* one output of this generator, so
+  /// successive forks differ but the parent stream advances.
   Rng fork();
+
+  /// Derives the decorrelated child stream number \p Stream of this
+  /// generator *without* advancing its state (const): split(K) called
+  /// twice returns bit-identical generators. Batch workers use
+  /// `Rng(BatchSeed).split(VariantSeed)` to give every variant its own
+  /// stream that is a pure function of (BatchSeed, VariantSeed) -- no
+  /// shared mutable RNG, no re-seeding collisions between workers.
+  Rng split(uint64_t Stream) const;
 
 private:
   uint64_t State[4];

@@ -1,0 +1,83 @@
+//===-- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <utility>
+
+using namespace pgsd;
+using namespace pgsd::support;
+
+unsigned ThreadPool::defaultConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Workers_) {
+  unsigned N = Workers_ == 0 ? defaultConcurrency() : Workers_;
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllIdle.wait(Lock, [this] { return Queue.empty() && Busy == 0; });
+  if (FirstError) {
+    std::exception_ptr E = std::exchange(FirstError, nullptr);
+    std::rethrow_exception(E);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Busy;
+    }
+    // Run outside the lock; a throwing task must not take the worker
+    // down with it -- record the first error for wait() to rethrow.
+    try {
+      Task();
+    } catch (...) {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Busy;
+      if (Queue.empty() && Busy == 0)
+        AllIdle.notify_all();
+    }
+  }
+}

@@ -1,0 +1,86 @@
+//===-- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool with a FIFO task queue, used by the parallel
+/// variant factory (driver::makeVariantsBatch) to fan diversify-and-verify
+/// work across cores.
+///
+/// Design constraints, in order:
+///  * Determinism lives in the tasks, not the pool. The pool makes no
+///    ordering promises beyond FIFO dispatch; batch results must be pure
+///    functions of their per-task seeds so that scheduling is invisible.
+///  * Exceptions propagate. A task that throws does not kill the worker;
+///    the first exception is captured and rethrown from wait(), so a
+///    std::bad_alloc in a worker surfaces in the caller like it would in
+///    a serial loop.
+///  * The pool is reusable: enqueue / wait / enqueue again. Destruction
+///    drains the queue (it does not cancel queued tasks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SUPPORT_THREADPOOL_H
+#define PGSD_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgsd {
+namespace support {
+
+/// Fixed worker count, FIFO queue, first-exception propagation.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads; 0 means defaultConcurrency().
+  explicit ThreadPool(unsigned Workers = 0);
+
+  /// Waits for queued tasks to finish, then joins the workers. Any
+  /// pending exception is swallowed here (call wait() first when you
+  /// care -- destructors must not throw).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Appends \p Task to the queue; some idle worker will pick it up.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task raised since the last wait()
+  /// (if one did). The pool stays usable afterwards.
+  void wait();
+
+  /// Number of worker threads.
+  unsigned workerCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when the count is unknowable).
+  static unsigned defaultConcurrency();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< Signaled on enqueue/stop.
+  std::condition_variable AllIdle;       ///< Signaled when work drains.
+  std::exception_ptr FirstError;         ///< First task exception, if any.
+  size_t Busy = 0;                       ///< Tasks currently executing.
+  bool Stopping = false;                 ///< Set once, by the destructor.
+};
+
+} // namespace support
+} // namespace pgsd
+
+#endif // PGSD_SUPPORT_THREADPOOL_H

@@ -1,0 +1,160 @@
+//===-- tests/BatchTest.cpp - Parallel variant factory tests ----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The core guarantee of driver::makeVariantsBatch: parallelism never
+// changes diversification output. For every workload, Jobs=1 and Jobs=8
+// must produce byte-identical images and identical insertion statistics
+// per seed, because each variant is a pure function of (program,
+// options, seed). The TSan CI job runs this same binary to prove the
+// shared baseline really is read-only across workers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Batch.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace pgsd;
+
+namespace {
+
+/// Byte-wise equality of two verified variants, stats included.
+void expectIdentical(const driver::VerifiedVariant &A,
+                     const driver::VerifiedVariant &B, size_t SeedIndex) {
+  SCOPED_TRACE("seed index " + std::to_string(SeedIndex));
+  EXPECT_EQ(A.V.Image.Text, B.V.Image.Text);
+  EXPECT_EQ(A.V.Stats.NopsInserted, B.V.Stats.NopsInserted);
+  EXPECT_EQ(A.V.Stats.CandidateSites, B.V.Stats.CandidateSites);
+  EXPECT_EQ(A.V.Stats.PerKind, B.V.Stats.PerKind);
+  EXPECT_EQ(A.SeedUsed, B.SeedUsed);
+  EXPECT_EQ(A.Attempts, B.Attempts);
+  EXPECT_EQ(A.UsedFallback, B.UsedFallback);
+}
+
+} // namespace
+
+/// Determinism parity over the whole SPEC-like suite: serial and
+/// 8-worker batches must be indistinguishable, seed for seed.
+class BatchParityTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BatchParityTest, SerialAndParallelImagesAreByteIdentical) {
+  const workloads::Workload &W = workloads::specWorkload(GetParam());
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  ASSERT_TRUE(driver::profileAndStamp(P, W.TrainInput));
+
+  auto Opts = diversity::DiversityOptions::profiled(
+      diversity::ProbabilityModel::Log, 0.0, 0.3);
+  std::vector<uint64_t> Seeds = {0x5eed0000ull ^ W.Name[0], 42};
+
+  driver::BatchOptions Serial;
+  Serial.Jobs = 1;
+  // One bounded, known-terminating input keeps the suite-wide sweep
+  // fast; the full default battery is exercised by BatchStressTest.
+  Serial.Verify.InputBattery = {W.TrainInput};
+  driver::BatchOptions Parallel = Serial;
+  Parallel.Jobs = 8;
+
+  driver::BatchResult A = driver::makeVariantsBatch(P, Opts, Seeds, Serial);
+  driver::BatchResult B =
+      driver::makeVariantsBatch(P, Opts, Seeds, Parallel);
+
+  ASSERT_EQ(A.Variants.size(), Seeds.size());
+  ASSERT_EQ(B.Variants.size(), Seeds.size());
+  EXPECT_EQ(A.Jobs, 1u);
+  EXPECT_EQ(B.Jobs, 8u);
+  for (size_t I = 0; I != Seeds.size(); ++I)
+    expectIdentical(A.Variants[I], B.Variants[I], I);
+  // The aggregate counters are scheduling-independent too.
+  EXPECT_EQ(A.Accepted, B.Accepted);
+  EXPECT_EQ(A.Rejected, B.Rejected);
+  EXPECT_EQ(A.Retried, B.Retried);
+  EXPECT_EQ(A.TotalAttempts, B.TotalAttempts);
+  // The workload battery is known-good: nothing should be rejected.
+  EXPECT_TRUE(B.allAccepted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spec, BatchParityTest,
+    ::testing::Values("470.lbm", "429.mcf", "462.libquantum", "401.bzip2",
+                      "473.astar", "433.milc", "458.sjeng", "456.hmmer",
+                      "444.namd", "482.sphinx3", "464.h264ref",
+                      "450.soplex", "447.dealII", "453.povray",
+                      "400.perlbench", "445.gobmk", "471.omnetpp",
+                      "403.gcc", "483.xalancbmk"),
+    [](const auto &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (C == '.')
+          C = '_';
+      return Name;
+    });
+
+TEST(Batch, CountersAccountForEverySeed) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var s = 0; var i = 0; while (i < 40) { s = s + i; "
+      "i = i + 1; } print_int(s); return 0; }",
+      "counters");
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  std::vector<uint64_t> Seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  driver::BatchOptions B;
+  B.Jobs = 4;
+  driver::BatchResult R = driver::makeVariantsBatch(
+      P, diversity::DiversityOptions::uniform(0.5), Seeds, B);
+
+  EXPECT_EQ(R.Variants.size(), Seeds.size());
+  EXPECT_EQ(R.Accepted + R.Rejected, Seeds.size());
+  EXPECT_GE(R.TotalAttempts, Seeds.size());
+  EXPECT_GT(R.WallSeconds, 0.0);
+  EXPECT_GT(R.variantsPerSecond(), 0.0);
+  EXPECT_EQ(R.Jobs, 4u);
+  for (size_t I = 0; I != Seeds.size(); ++I)
+    EXPECT_EQ(R.Variants[I].SeedUsed, Seeds[I]) << I;
+}
+
+TEST(Batch, DefaultJobCountUsesHardwareConcurrency) {
+  driver::Program P =
+      driver::compileProgram("fn main() { return 7; }", "tiny");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  driver::BatchResult R = driver::makeVariantsBatch(
+      P, diversity::DiversityOptions::uniform(0.3), {1, 2});
+  EXPECT_EQ(R.Jobs, support::ThreadPool::defaultConcurrency());
+}
+
+TEST(Batch, RejectedSeedsFallBackToBaselineAndAreCounted) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { print_int(read_int() * 3); return 0; }", "reject");
+  ASSERT_TRUE(P.ok()) << P.errors();
+  codegen::Image Baseline = driver::linkBaseline(P);
+
+  driver::BatchOptions B;
+  B.Jobs = 4;
+  B.Verify.MaxAttempts = 2;
+  // Corrupt every candidate image: each worker mutates only its own
+  // variant, so the seam stays thread-safe while guaranteeing that
+  // image verification rejects every attempt.
+  B.Verify.InjectFault = [](mir::MModule &, codegen::Image &Img,
+                            uint64_t) {
+    if (!Img.Text.empty())
+      Img.Text[0] ^= 0xFF;
+  };
+  std::vector<uint64_t> Seeds = {10, 11, 12, 13};
+  driver::BatchResult R = driver::makeVariantsBatch(
+      P, diversity::DiversityOptions::uniform(0.5), Seeds, B);
+
+  EXPECT_FALSE(R.allAccepted());
+  EXPECT_EQ(R.Rejected, Seeds.size());
+  EXPECT_EQ(R.Accepted, 0u);
+  EXPECT_EQ(R.Retried, Seeds.size());
+  EXPECT_EQ(R.TotalAttempts, Seeds.size() * 2);
+  for (const driver::VerifiedVariant &V : R.Variants) {
+    EXPECT_TRUE(V.UsedFallback);
+    EXPECT_EQ(V.V.Image.Text, Baseline.Text);
+    EXPECT_TRUE(V.Report.has(verify::ErrorCode::RetriesExhausted));
+  }
+}

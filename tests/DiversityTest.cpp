@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
+
 using namespace pgsd;
 using diversity::DiversityOptions;
 using diversity::ProbabilityModel;
@@ -314,4 +317,83 @@ TEST(NopInsertion, OverheadOrderingAcrossConfigs) {
   EXPECT_GT(Naive, Base);
   // Profile-guided 0-30% is within a few percent of the baseline.
   EXPECT_LT((Best - Base) / Base, 0.05);
+}
+
+TEST(NopInsertion, RngOverloadMatchesSeedPath) {
+  // The Rng&-taking overloads exist so batch workers can hand each
+  // variant a stream derived via Rng::split; handing them Rng(Seed)
+  // directly must reproduce the seed-taking entry points exactly.
+  driver::Program A = hotColdProgram();
+  driver::Program B = hotColdProgram();
+  DiversityOptions Opts = DiversityOptions::uniform(0.5, /*Seed=*/77);
+
+  diversity::InsertionStats SA = diversity::insertNops(A.MIR, Opts);
+  Rng G(Opts.Seed);
+  diversity::InsertionStats SB = diversity::insertNops(B.MIR, Opts, G);
+  EXPECT_EQ(mir::print(A.MIR), mir::print(B.MIR));
+  EXPECT_EQ(SA.NopsInserted, SB.NopsInserted);
+  EXPECT_EQ(SA.CandidateSites, SB.CandidateSites);
+  EXPECT_EQ(SA.PerKind, SB.PerKind);
+
+  diversity::BlockShiftStats BA = diversity::insertBlockShift(A.MIR, 99);
+  Rng G2(99);
+  diversity::BlockShiftStats BB =
+      diversity::insertBlockShift(B.MIR, G2);
+  EXPECT_EQ(mir::print(A.MIR), mir::print(B.MIR));
+  EXPECT_EQ(BA.PaddingInstrs, BB.PaddingInstrs);
+  EXPECT_EQ(BA.FunctionsShifted, BB.FunctionsShifted);
+}
+
+namespace {
+
+/// Serializes every NOP's position and kind: "f:b:i:kind;..." -- the
+/// placement fingerprint two seeds must never share.
+std::string nopPlacement(const mir::MModule &M) {
+  std::string Sig;
+  for (size_t F = 0; F != M.Functions.size(); ++F)
+    for (size_t B = 0; B != M.Functions[F].Blocks.size(); ++B) {
+      const auto &Instrs = M.Functions[F].Blocks[B].Instrs;
+      for (size_t I = 0; I != Instrs.size(); ++I)
+        if (Instrs[I].Op == mir::MOp::Nop) {
+          char Buf[64];
+          std::snprintf(Buf, sizeof(Buf), "%zu:%zu:%zu:%u;", F, B, I,
+                        static_cast<unsigned>(Instrs[I].NopK));
+          Sig += Buf;
+        }
+    }
+  return Sig;
+}
+
+} // namespace
+
+TEST(NopInsertion, DistinctSeedsNeverCollideOnNontrivialWorkload) {
+  // Collision smoke test for the batch factory's per-seed streams: on a
+  // workload with hundreds of candidate sites, two different seeds
+  // yielding the same NOP placement would mean the seeding scheme lost
+  // entropy (the paper's population-level security argument assumes
+  // variants are distinct).
+  driver::Program P = hotColdProgram();
+  DiversityOptions Opts = DiversityOptions::uniform(0.4);
+  std::set<std::string> Placements;
+  constexpr unsigned NumSeeds = 64;
+  for (uint64_t Seed = 0; Seed != NumSeeds; ++Seed) {
+    mir::MModule V = diversity::makeVariant(P.MIR, Opts, Seed);
+    std::string Sig = nopPlacement(V);
+    EXPECT_FALSE(Sig.empty());
+    EXPECT_TRUE(Placements.insert(Sig).second)
+        << "seed " << Seed << " collided with an earlier seed";
+  }
+  EXPECT_EQ(Placements.size(), NumSeeds);
+
+  // The same must hold for streams split off one batch generator.
+  Placements.clear();
+  Rng Batch(0xba7c);
+  for (uint64_t Seed = 0; Seed != NumSeeds; ++Seed) {
+    driver::Program Q = hotColdProgram();
+    Rng Stream = Batch.split(Seed);
+    diversity::insertNops(Q.MIR, Opts, Stream);
+    EXPECT_TRUE(Placements.insert(nopPlacement(Q.MIR)).second)
+        << "split stream " << Seed << " collided";
+  }
+  EXPECT_EQ(Placements.size(), NumSeeds);
 }

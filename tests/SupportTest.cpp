@@ -8,13 +8,99 @@
 #include "support/Rng.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 using namespace pgsd;
+
+TEST(Rng, SplitIsPureAndDoesNotAdvanceParent) {
+  Rng Parent(7);
+  Rng C1 = Parent.split(3);
+  Rng C2 = Parent.split(3);
+  // Same stream index twice: bit-identical children.
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(C1.next(), C2.next());
+  // split() is const: the parent's own stream is untouched.
+  Rng Fresh(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Parent.next(), Fresh.next());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng Parent(7);
+  std::set<uint64_t> FirstOutputs;
+  for (uint64_t Stream = 0; Stream != 256; ++Stream)
+    FirstOutputs.insert(Parent.split(Stream).next());
+  // Adjacent stream indices must not collide.
+  EXPECT_EQ(FirstOutputs.size(), 256u);
+  // Different parents give different streams for the same index.
+  EXPECT_NE(Rng(7).split(0).next(), Rng(8).split(0).next());
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  support::ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.enqueue([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPool, IsReusableAfterWait) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int Round = 0; Round != 3; ++Round) {
+    for (int I = 0; I != 10; ++I)
+      Pool.enqueue([&Count] { ++Count; });
+    Pool.wait();
+    EXPECT_EQ(Count.load(), (Round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  support::ThreadPool Pool(2);
+  std::atomic<int> Completed{0};
+  Pool.enqueue([] { throw std::runtime_error("task failed"); });
+  for (int I = 0; I != 8; ++I)
+    Pool.enqueue([&Completed] { ++Completed; });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The throwing task did not kill its worker: later tasks all ran, and
+  // the pool keeps working after the rethrow.
+  EXPECT_EQ(Completed.load(), 8);
+  Pool.enqueue([&Completed] { ++Completed; });
+  Pool.wait(); // does not rethrow twice
+  EXPECT_EQ(Completed.load(), 9);
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  support::ThreadPool Pool(4);
+  // Four tasks that each wait until all four have started can only
+  // finish if they really run on distinct threads.
+  std::atomic<int> Started{0};
+  for (int I = 0; I != 4; ++I)
+    Pool.enqueue([&Started] {
+      ++Started;
+      while (Started.load() < 4)
+        std::this_thread::yield();
+    });
+  Pool.wait();
+  EXPECT_EQ(Started.load(), 4);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  support::ThreadPool Pool(2);
+  Pool.wait();
+  EXPECT_GE(support::ThreadPool::defaultConcurrency(), 1u);
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng A(42), B(42);

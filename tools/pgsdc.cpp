@@ -12,6 +12,8 @@
 //         [--pmin 0] [--pmax 30] [--model log|linear|uniform]
 //         [--xchg] [--block-shift]
 //   pgsdc verify file.minic [--seed N ...as above] [--retries N]
+//   pgsdc batch file.minic --seeds N [--jobs J] [--out-dir DIR]
+//         [--seed BASE ...as above]
 //   pgsdc analyze file.minic [--variants N] [--seed N ...as above]
 //   pgsdc analyze --suite [--variants N]
 //   pgsdc gadgets file.minic [--seed N ...as above]
@@ -26,6 +28,7 @@
 
 #include "analysis/Analysis.h"
 #include "diversity/NopInsertion.h"
+#include "driver/Batch.h"
 #include "driver/Driver.h"
 #include "workloads/Workloads.h"
 #include "gadget/Attack.h"
@@ -36,6 +39,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -70,6 +74,8 @@ int usage() {
                "  verify     build a variant and run the full verifier\n"
                "             (differential + image + structural checks,\n"
                "             retrying with derived seeds on failure)\n"
+               "  batch      build a population of verified variants in\n"
+               "             parallel (one per seed), report throughput\n"
                "  analyze    run the static dataflow checkers over the\n"
                "             baseline MIR and diversified variants; with\n"
                "             --suite instead of a file, sweep the whole\n"
@@ -88,6 +94,9 @@ int usage() {
                "  --block-shift       also insert entry pad blocks\n"
                "  --retries N         verification attempts (default 3)\n"
                "  --variants N        variants per program (analyze)\n"
+               "  --seeds N           batch size: seeds BASE..BASE+N-1\n"
+               "  --jobs J            worker threads (default: all cores)\n"
+               "  --out-dir DIR       write each variant's .text (batch)\n"
                "  --no-opt            disable the -O2 pipeline\n"
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
@@ -135,6 +144,9 @@ struct Options {
   std::string Model = "log";
   unsigned Retries = 3;
   unsigned Variants = 3;
+  unsigned Seeds = 8;      ///< Batch size (batch command).
+  unsigned Jobs = 0;       ///< Worker threads; 0 means all cores.
+  std::string OutDir;      ///< Where batch writes variant images.
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -206,6 +218,25 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         return false;
       Opts.Variants =
           static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--seeds") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Seeds == 0) {
+        std::fprintf(stderr, "pgsdc: --seeds must be at least 1\n");
+        return false;
+      }
+    } else if (Arg == "--jobs") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--out-dir") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.OutDir = V;
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -413,6 +444,75 @@ int cmdVerify(const Options &Opts) {
   return ExitOK;
 }
 
+int cmdBatch(const Options &Opts) {
+  driver::Program P;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
+  if (!Opts.InputText.empty() && !P.HasProfile) {
+    // --input doubles as the training set: profile once, share the
+    // stamped counts with every worker.
+    if (!driver::profileAndStamp(P, parseInput(Opts.InputText))) {
+      std::fprintf(stderr, "pgsdc: training run trapped\n");
+      return ExitTrap;
+    }
+  }
+  std::vector<uint64_t> Seeds;
+  Seeds.reserve(Opts.Seeds);
+  for (unsigned I = 0; I != Opts.Seeds; ++I)
+    Seeds.push_back(Opts.Seed + I);
+
+  driver::BatchOptions B;
+  B.Jobs = Opts.Jobs;
+  B.Verify.MaxAttempts = Opts.Retries;
+  driver::BatchResult R =
+      driver::makeVariantsBatch(P, diversityOptions(Opts), Seeds, B);
+
+  if (!Opts.OutDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.OutDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "pgsdc: cannot create '%s': %s\n",
+                   Opts.OutDir.c_str(), EC.message().c_str());
+      return ExitFileIO;
+    }
+    std::string Stem =
+        std::filesystem::path(Opts.File).stem().string();
+    for (size_t I = 0; I != R.Variants.size(); ++I) {
+      const driver::VerifiedVariant &VV = R.Variants[I];
+      std::string Path = Opts.OutDir + "/" + Stem + ".s" +
+                         std::to_string(Seeds[I]) +
+                         (VV.ok() ? ".text" : ".baseline.text");
+      std::string Bytes(VV.V.Image.Text.begin(), VV.V.Image.Text.end());
+      if (!writeFile(Path, Bytes)) {
+        std::fprintf(stderr, "pgsdc: cannot write '%s'\n", Path.c_str());
+        return ExitFileIO;
+      }
+    }
+  }
+
+  for (const driver::VerifiedVariant &VV : R.Variants)
+    if (!VV.Report.ok())
+      std::fprintf(stderr, "%s", VV.Report.str().c_str());
+  std::printf("batch: %zu seeds x %u jobs: %llu accepted, %llu rejected, "
+              "%llu retried (%llu attempts total)\n",
+              Seeds.size(), R.Jobs,
+              static_cast<unsigned long long>(R.Accepted),
+              static_cast<unsigned long long>(R.Rejected),
+              static_cast<unsigned long long>(R.Retried),
+              static_cast<unsigned long long>(R.TotalAttempts));
+  std::printf("throughput: %.1f variants/sec (wall %.3fs, cpu %.3fs, "
+              "utilization %.1fx)\n",
+              R.variantsPerSecond(), R.WallSeconds, R.CpuSeconds,
+              R.WallSeconds > 0 ? R.CpuSeconds / R.WallSeconds : 0.0);
+  if (!R.allAccepted()) {
+    std::fprintf(stderr,
+                 "pgsdc: %llu seed(s) fell back to the baseline image\n",
+                 static_cast<unsigned long long>(R.Rejected));
+    return ExitVerifyFailed;
+  }
+  return ExitOK;
+}
+
 /// Runs the six static checkers over \p P's baseline MIR plus
 /// Opts.Variants NOP-insertion variants and their block-shifted
 /// siblings. Returns the number of rejected modules.
@@ -576,6 +676,8 @@ int main(int Argc, char **Argv) {
     return cmdDiversify(Opts);
   if (Opts.Command == "verify")
     return cmdVerify(Opts);
+  if (Opts.Command == "batch")
+    return cmdBatch(Opts);
   if (Opts.Command == "analyze")
     return cmdAnalyze(Opts);
   if (Opts.Command == "gadgets")
