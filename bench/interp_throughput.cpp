@@ -1,0 +1,175 @@
+//===-- bench/interp_throughput.cpp - Engine MIPS comparison ----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Measures interpreter throughput (MIPS: million simulated MIR
+// instructions per wall-clock second) of the tree-walking reference
+// engine against the precompiled direct-threaded engine
+// (mexec::Precompiled) over the SPEC-like workload suite, and records
+// per-workload MIPS plus the geometric-mean speedup as JSON
+// (BENCH_interp.json by default, or argv[1]).
+//
+// Bit-identity is asserted while measuring: the two engines must return
+// the same Checksum/Instructions/Cycles10 on every workload, or the
+// bench refuses to publish numbers (tests/EngineParityTest.cpp pins the
+// full field-for-field contract).
+//
+// Knobs:
+//   PGSD_QUICK=1   -- one repetition over a 5-workload subset (CI smoke).
+//   PGSD_REPS=N    -- repetitions per engine per workload (default 3;
+//                     the fastest repetition is reported).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "mexec/Precompiled.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+
+namespace {
+
+struct Row {
+  std::string Name;
+  uint64_t Instructions = 0;
+  double RefSeconds = 0.0;
+  double FastSeconds = 0.0;
+
+  double refMips() const {
+    return RefSeconds > 0 ? Instructions / RefSeconds / 1e6 : 0.0;
+  }
+  double fastMips() const {
+    return FastSeconds > 0 ? Instructions / FastSeconds / 1e6 : 0.0;
+  }
+  double speedup() const {
+    return FastSeconds > 0 ? RefSeconds / FastSeconds : 0.0;
+  }
+};
+
+/// Wall-clock seconds of the fastest of \p Reps calls to \p Fn.
+template <typename F> double bestOf(unsigned Reps, F &&Fn) {
+  double Best = 0.0;
+  for (unsigned R = 0; R != Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    double S = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+    if (R == 0 || S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_interp.json";
+  bool Quick = [] {
+    const char *Q = std::getenv("PGSD_QUICK");
+    return Q && Q[0] == '1';
+  }();
+  unsigned Reps = Quick ? 1 : 3;
+  if (const char *V = std::getenv("PGSD_REPS"))
+    if (std::atoi(V) > 0)
+      Reps = static_cast<unsigned>(std::atoi(V));
+
+  const std::vector<workloads::Workload> &Suite = workloads::specSuite();
+  size_t NumWorkloads = Quick ? std::min<size_t>(5, Suite.size())
+                              : Suite.size();
+
+  std::vector<Row> Rows;
+  double LogSum = 0.0;
+  for (size_t WI = 0; WI != NumWorkloads; ++WI) {
+    const workloads::Workload &W = Suite[WI];
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.ok()) {
+      std::fprintf(stderr, "interp_throughput: %s failed to compile:\n%s",
+                   W.Name.c_str(), P.errors().c_str());
+      return 1;
+    }
+    mexec::RunOptions Opts;
+    Opts.Input = W.TrainInput;
+
+    mexec::RunResult Ref = mexec::run(P.MIR, Opts);
+    mexec::Precompiled PC(P.MIR);
+    mexec::RunResult Fast = PC.run(Opts);
+    if (Ref.Trapped || Ref.Checksum != Fast.Checksum ||
+        Ref.Instructions != Fast.Instructions ||
+        Ref.Cycles10 != Fast.Cycles10) {
+      std::fprintf(stderr,
+                   "interp_throughput: %s: engines diverge "
+                   "(ref %08x/%llu, fast %08x/%llu); not publishing\n",
+                   W.Name.c_str(), Ref.Checksum,
+                   static_cast<unsigned long long>(Ref.Instructions),
+                   Fast.Checksum,
+                   static_cast<unsigned long long>(Fast.Instructions));
+      return 1;
+    }
+
+    Row R;
+    R.Name = W.Name;
+    R.Instructions = Ref.Instructions;
+    R.RefSeconds = bestOf(Reps, [&] { mexec::run(P.MIR, Opts); });
+    R.FastSeconds = bestOf(Reps, [&] { PC.run(Opts); });
+    LogSum += std::log(R.speedup());
+
+    std::printf("%-16s %9llu instrs: ref %7.2f MIPS, fast %8.2f MIPS, "
+                "speedup %5.2fx\n",
+                W.Name.c_str(),
+                static_cast<unsigned long long>(R.Instructions),
+                R.refMips(), R.fastMips(), R.speedup());
+    Rows.push_back(std::move(R));
+  }
+
+  double Geomean = std::exp(LogSum / static_cast<double>(Rows.size()));
+  std::printf("geomean speedup: %.2fx over %zu workloads\n", Geomean,
+              Rows.size());
+  if (Geomean < 1.0)
+    // Warn-only: a loaded CI box can produce noisy timings, and the
+    // parity tests -- not this bench -- are the correctness gate.
+    std::printf("note: fast engine slower than reference on this host "
+                "(geomean %.2fx < 1.0)\n",
+                Geomean);
+
+  std::string Json = "{\n";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"reps\": %u,\n  \"geomean_speedup\": %.3f,\n"
+                "  \"workloads\": [\n",
+                Reps, Geomean);
+  Json += Buf;
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    char Line[320];
+    std::snprintf(Line, sizeof(Line),
+                  "    {\"name\": \"%s\", \"instructions\": %llu, "
+                  "\"ref_mips\": %.2f, \"fast_mips\": %.2f, "
+                  "\"speedup\": %.3f}%s\n",
+                  R.Name.c_str(),
+                  static_cast<unsigned long long>(R.Instructions),
+                  R.refMips(), R.fastMips(), R.speedup(),
+                  I + 1 == Rows.size() ? "" : ",");
+    Json += Line;
+  }
+  Json += "  ]\n}\n";
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "interp_throughput: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fputs(Json.c_str(), Out);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "driver/Batch.h"
 
 #include "support/ThreadPool.h"
+#include "verify/BaselineCache.h"
 
 #include <chrono>
 #include <ctime>
@@ -24,6 +25,16 @@ BatchResult driver::makeVariantsBatch(const Program &P,
                            : BOpts.Jobs;
   R.Variants.resize(Seeds.size());
 
+  // Every seed verifies against the same baseline on the same battery:
+  // one shared read-only cache runs the baseline once per input for the
+  // whole batch instead of once per variant attempt. Entries fill under
+  // per-entry once_flags, so sharing it across workers is race-free and
+  // -- because each baseline run is a pure function of (baseline, input)
+  // -- does not disturb the Jobs-independence determinism contract.
+  verify::BaselineCache Cache(P.MIR, BOpts.Verify);
+  verify::VerifyOptions Verify = BOpts.Verify;
+  Verify.Cache = &Cache;
+
   auto WallStart = std::chrono::steady_clock::now();
   std::clock_t CpuStart = std::clock();
 
@@ -32,20 +43,23 @@ BatchResult driver::makeVariantsBatch(const Program &P,
     // Jobs=1 baseline measures the pipeline alone, not thread overhead.
     for (size_t I = 0; I != Seeds.size(); ++I)
       R.Variants[I] =
-          makeVariantVerified(P, Opts, Seeds[I], BOpts.Verify, BOpts.Link);
+          makeVariantVerified(P, Opts, Seeds[I], Verify, BOpts.Link);
   } else {
     support::ThreadPool Pool(R.Jobs);
     for (size_t I = 0; I != Seeds.size(); ++I) {
       // Each task reads the shared immutable Program and writes only its
       // own pre-sized slot; Pool.wait() is the synchronization point
       // that publishes every slot to this thread.
-      Pool.enqueue([&R, &P, &Opts, &Seeds, &BOpts, I] {
+      Pool.enqueue([&R, &P, &Opts, &Seeds, &Verify, &BOpts, I] {
         R.Variants[I] = makeVariantVerified(P, Opts, Seeds[I],
-                                            BOpts.Verify, BOpts.Link);
+                                            Verify, BOpts.Link);
       });
     }
     Pool.wait();
   }
+
+  R.BaselineCacheHits = Cache.hits();
+  R.BaselineCacheFills = Cache.fills();
 
   R.WallSeconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - WallStart)

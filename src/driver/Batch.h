@@ -62,6 +62,13 @@ struct BatchResult {
   uint64_t Rejected = 0;       ///< Fell back to the baseline image.
   uint64_t Retried = 0;        ///< Needed more than one attempt.
   uint64_t TotalAttempts = 0;  ///< Variant builds across all seeds.
+  /// Baseline differential runs served from the shared
+  /// verify::BaselineCache (vs. computed). Across a healthy batch,
+  /// Fills stays at most battery-size while Hits grows with
+  /// seeds x inputs: the baseline executes once per input, not once per
+  /// variant attempt.
+  uint64_t BaselineCacheHits = 0;
+  uint64_t BaselineCacheFills = 0;
   double WallSeconds = 0.0;    ///< Wall-clock time of the batch.
   double CpuSeconds = 0.0;     ///< Process CPU time of the batch.
 

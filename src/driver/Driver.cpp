@@ -12,8 +12,10 @@
 #include "frontend/Parser.h"
 #include "lir/ISel.h"
 #include "passes/Passes.h"
+#include "verify/BaselineCache.h"
 
 #include <cstdio>
+#include <optional>
 #include <utility>
 
 using namespace pgsd;
@@ -84,11 +86,11 @@ codegen::Image driver::linkBaseline(const Program &P,
 
 mexec::RunResult driver::execute(const mir::MModule &MIR,
                                  const std::vector<int32_t> &Input,
-                                 bool CollectOutput) {
+                                 bool CollectOutput, mexec::Engine E) {
   mexec::RunOptions Opts;
   Opts.Input = Input;
   Opts.CollectOutput = CollectOutput;
-  return mexec::run(MIR, Opts);
+  return mexec::runWith(E, MIR, Opts);
 }
 
 VerifiedVariant
@@ -100,6 +102,13 @@ driver::makeVariantVerified(const Program &P,
   VerifiedVariant Out;
   verify::VerifyOptions Effective = VOpts;
   Effective.Link = Link;
+  // Every retry attempt diffs against the same baseline on the same
+  // battery; share one baseline run cache across the whole retry loop
+  // (unless the caller -- e.g. makeVariantsBatch -- already supplied a
+  // wider-scoped one).
+  std::optional<verify::BaselineCache> LocalCache;
+  if (!Effective.Cache)
+    Effective.Cache = &LocalCache.emplace(P.MIR, Effective);
   unsigned Budget = VOpts.MaxAttempts == 0 ? 1 : VOpts.MaxAttempts;
   for (unsigned Attempt = 0; Attempt != Budget; ++Attempt) {
     uint64_t S = verify::deriveRetrySeed(Seed, Attempt);

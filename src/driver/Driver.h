@@ -85,10 +85,12 @@ codegen::Image linkBaseline(const Program &P,
                             const codegen::LinkOptions &Link =
                                 codegen::LinkOptions());
 
-/// Executes machine IR on \p Input with the default cost model.
+/// Executes machine IR on \p Input with the default cost model, on the
+/// fast (precompiled) engine unless \p E selects the reference oracle.
 mexec::RunResult execute(const mir::MModule &MIR,
                          const std::vector<int32_t> &Input,
-                         bool CollectOutput = false);
+                         bool CollectOutput = false,
+                         mexec::Engine E = mexec::Engine::Fast);
 
 /// A diversified build that has been through the verification pipeline.
 struct VerifiedVariant {

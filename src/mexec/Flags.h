@@ -1,0 +1,95 @@
+//===-- mexec/Flags.h - Lazy EFLAGS model shared by both engines -*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flags-relevant result of the last CMP or TEST. The generated code
+/// only consumes flags immediately after CMP/TEST (Table 1 NOPs preserve
+/// flags, so interleaved NOPs are harmless), which lets both execution
+/// engines model EFLAGS lazily. Shared between the tree-walking reference
+/// engine (Interp.cpp) and the precompiled direct-threaded engine
+/// (Precompiled.cpp) so condition-code evaluation can never diverge
+/// between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_MEXEC_FLAGS_H
+#define PGSD_MEXEC_FLAGS_H
+
+#include "x86/X86.h"
+
+#include <cstdint>
+
+namespace pgsd {
+namespace mexec {
+
+/// Deferred CMP/TEST operands; eval() recomputes any condition from them.
+struct FlagState {
+  bool IsTest = false;
+  int32_t A = 0;
+  int32_t B = 0;
+
+  bool eval(x86::CondCode CC) const {
+    int32_t R;
+    bool CF, OF;
+    if (IsTest) {
+      R = A & B;
+      CF = false;
+      OF = false;
+    } else {
+      uint32_t UA = static_cast<uint32_t>(A);
+      uint32_t UB = static_cast<uint32_t>(B);
+      R = static_cast<int32_t>(UA - UB);
+      CF = UA < UB;
+      OF = ((A ^ B) & (A ^ R)) < 0;
+    }
+    bool ZF = R == 0;
+    bool SF = R < 0;
+    switch (CC) {
+    case x86::CondCode::O:
+      return OF;
+    case x86::CondCode::NO:
+      return !OF;
+    case x86::CondCode::B:
+      return CF;
+    case x86::CondCode::AE:
+      return !CF;
+    case x86::CondCode::E:
+      return ZF;
+    case x86::CondCode::NE:
+      return !ZF;
+    case x86::CondCode::BE:
+      return CF || ZF;
+    case x86::CondCode::A:
+      return !CF && !ZF;
+    case x86::CondCode::S:
+      return SF;
+    case x86::CondCode::NS:
+      return !SF;
+    case x86::CondCode::P:
+    case x86::CondCode::NP: {
+      // Parity of the low result byte; practically unused by codegen.
+      unsigned Bits = __builtin_popcount(static_cast<unsigned>(R) & 0xFF);
+      bool PF = (Bits & 1) == 0;
+      return CC == x86::CondCode::P ? PF : !PF;
+    }
+    case x86::CondCode::L:
+      return SF != OF;
+    case x86::CondCode::GE:
+      return SF == OF;
+    case x86::CondCode::LE:
+      return ZF || SF != OF;
+    case x86::CondCode::G:
+      return !ZF && SF == OF;
+    }
+    return false;
+  }
+};
+
+} // namespace mexec
+} // namespace pgsd
+
+#endif // PGSD_MEXEC_FLAGS_H

@@ -8,6 +8,7 @@
 #include "mexec/Interp.h"
 
 #include "codegen/Layout.h"
+#include "mexec/Flags.h"
 
 #include <cassert>
 #include <cstdio>
@@ -18,72 +19,6 @@ using namespace pgsd::mir;
 using x86::Reg;
 
 namespace {
-
-/// The flags-relevant result of the last CMP or TEST. The generated code
-/// only consumes flags immediately after CMP/TEST (Table 1 NOPs preserve
-/// flags, so interleaved NOPs are harmless), which lets the interpreter
-/// model EFLAGS lazily.
-struct FlagState {
-  bool IsTest = false;
-  int32_t A = 0;
-  int32_t B = 0;
-
-  bool eval(x86::CondCode CC) const {
-    int32_t R;
-    bool CF, OF;
-    if (IsTest) {
-      R = A & B;
-      CF = false;
-      OF = false;
-    } else {
-      uint32_t UA = static_cast<uint32_t>(A);
-      uint32_t UB = static_cast<uint32_t>(B);
-      R = static_cast<int32_t>(UA - UB);
-      CF = UA < UB;
-      OF = ((A ^ B) & (A ^ R)) < 0;
-    }
-    bool ZF = R == 0;
-    bool SF = R < 0;
-    switch (CC) {
-    case x86::CondCode::O:
-      return OF;
-    case x86::CondCode::NO:
-      return !OF;
-    case x86::CondCode::B:
-      return CF;
-    case x86::CondCode::AE:
-      return !CF;
-    case x86::CondCode::E:
-      return ZF;
-    case x86::CondCode::NE:
-      return !ZF;
-    case x86::CondCode::BE:
-      return CF || ZF;
-    case x86::CondCode::A:
-      return !CF && !ZF;
-    case x86::CondCode::S:
-      return SF;
-    case x86::CondCode::NS:
-      return !SF;
-    case x86::CondCode::P:
-    case x86::CondCode::NP: {
-      // Parity of the low result byte; practically unused by codegen.
-      unsigned Bits = __builtin_popcount(static_cast<unsigned>(R) & 0xFF);
-      bool PF = (Bits & 1) == 0;
-      return CC == x86::CondCode::P ? PF : !PF;
-    }
-    case x86::CondCode::L:
-      return SF != OF;
-    case x86::CondCode::GE:
-      return SF == OF;
-    case x86::CondCode::LE:
-      return ZF || SF != OF;
-    case x86::CondCode::G:
-      return !ZF && SF == OF;
-    }
-    return false;
-  }
-};
 
 /// One shadow call-stack frame (models the prologue/epilogue contract).
 struct Frame {
@@ -119,7 +54,9 @@ private:
   int32_t &reg(Reg R) { return Regs[x86::regNum(R)]; }
 
   bool read32(uint32_t Addr, int32_t &Out) {
-    if (Addr + 4 > Memory.size() || Addr < 0x1000)
+    // 64-bit arithmetic: Addr + 4 would wrap for Addr >= 0xFFFFFFFC and
+    // slip past the bounds check.
+    if (static_cast<uint64_t>(Addr) + 4 > Memory.size() || Addr < 0x1000)
       return trap(TrapKind::BadMemory, "memory read out of bounds");
     Out = static_cast<int32_t>(
         static_cast<uint32_t>(Memory[Addr]) |
@@ -130,7 +67,7 @@ private:
   }
 
   bool write32(uint32_t Addr, int32_t Value) {
-    if (Addr + 4 > Memory.size() || Addr < 0x1000)
+    if (static_cast<uint64_t>(Addr) + 4 > Memory.size() || Addr < 0x1000)
       return trap(TrapKind::BadMemory, "memory write out of bounds");
     uint32_t V = static_cast<uint32_t>(Value);
     Memory[Addr] = static_cast<uint8_t>(V);
@@ -211,7 +148,7 @@ bool Machine::callIntrinsic(ir::Intrinsic Intr) {
     if (!Arg(0, V))
       return false;
     foldChecksum(static_cast<uint32_t>(V));
-    if (Opts.CollectOutput && Result.Output.size() < (1u << 20)) {
+    if (Opts.CollectOutput && Result.Output.size() < OutputCapBytes) {
       char Buf[16];
       std::snprintf(Buf, sizeof(Buf), "%d\n", V);
       Result.Output += Buf;
@@ -224,7 +161,7 @@ bool Machine::callIntrinsic(ir::Intrinsic Intr) {
     if (!Arg(0, V))
       return false;
     foldChecksum(0x10000u + static_cast<uint8_t>(V));
-    if (Opts.CollectOutput && Result.Output.size() < (1u << 20))
+    if (Opts.CollectOutput && Result.Output.size() < OutputCapBytes)
       Result.Output += static_cast<char>(V);
     reg(Reg::EAX) = 0;
     return true;
@@ -487,6 +424,8 @@ RunResult Machine::run() {
   assert(mir::verify(M).empty() && "machine module must verify");
 
   Result.Counters.assign(M.NumProfCounters, 0);
+  if (Opts.CollectOutput)
+    Result.Output.reserve(OutputReserveBytes);
   if (Opts.CollectBlockCounts) {
     Result.BlockCounts.resize(M.Functions.size());
     for (size_t F = 0; F != M.Functions.size(); ++F)
@@ -559,4 +498,26 @@ const char *mexec::trapKindName(TrapKind Kind) {
 RunResult mexec::run(const MModule &M, const RunOptions &Opts) {
   Machine Mach(M, Opts);
   return Mach.run();
+}
+
+const char *mexec::engineName(Engine E) {
+  switch (E) {
+  case Engine::Fast:
+    return "fast";
+  case Engine::Reference:
+    return "reference";
+  }
+  return "unknown";
+}
+
+bool mexec::parseEngine(const std::string &Name, Engine &Out) {
+  if (Name == "fast") {
+    Out = Engine::Fast;
+    return true;
+  }
+  if (Name == "reference") {
+    Out = Engine::Reference;
+    return true;
+  }
+  return false;
 }

@@ -66,7 +66,22 @@ struct CostModel {
   uint32_t XchgNop = 30;  ///< XCHG forms lock the bus (paper Section 3).
   uint32_t ProfInc = 25;  ///< Memory read-modify-write.
   uint32_t Intrinsic = 600; ///< Syscall-wrapper round trip.
+
+  /// Field-wise equality; the precompiled engine bakes one cost model
+  /// into its instruction stream and compares against RunOptions::Costs
+  /// to decide whether the baked stream is usable for a given run.
+  bool operator==(const CostModel &) const = default;
 };
+
+/// Cap on RunResult::Output: both print intrinsics stop appending once
+/// the collected text reaches this size (the checksum keeps folding, so
+/// behaviour stays observable past the cap).
+inline constexpr size_t OutputCapBytes = 1u << 20;
+
+/// Up-front RunResult::Output reservation when CollectOutput is set:
+/// covers virtually every battery/test program without ever committing
+/// the full cap per run.
+inline constexpr size_t OutputReserveBytes = 1u << 12;
 
 /// Inputs and limits for one run.
 struct RunOptions {
@@ -113,8 +128,33 @@ struct RunResult {
   double cycles() const { return static_cast<double>(Cycles10) / 10.0; }
 };
 
-/// Runs \p M from its entry function.
+/// Runs \p M from its entry function with the tree-walking reference
+/// engine. This is the semantic oracle: mexec::Precompiled must produce
+/// bit-identical RunResults, and the engine-parity test suite holds it
+/// to that.
 RunResult run(const mir::MModule &M, const RunOptions &Opts);
+
+/// Which execution engine to run MIR on. Fast is the precompiled
+/// direct-threaded engine (mexec/Precompiled.h); Reference is the
+/// tree-walking oracle above. The two are bit-identical by contract, so
+/// the choice only affects throughput.
+enum class Engine : uint8_t {
+  Fast,      ///< Precompiled direct-threaded stream (default).
+  Reference, ///< Tree-walking oracle.
+};
+
+/// Returns a stable lowercase name ("fast", "reference").
+const char *engineName(Engine E);
+
+/// Parses an engine name as accepted by the pgsdc --engine flag.
+/// Returns false (leaving \p Out untouched) on anything unknown.
+bool parseEngine(const std::string &Name, Engine &Out);
+
+/// Runs \p M on the engine \p E selects. For Engine::Fast this compiles
+/// the module once and throws the stream away afterwards -- callers that
+/// execute the same module repeatedly should hold a mexec::Precompiled
+/// instead.
+RunResult runWith(Engine E, const mir::MModule &M, const RunOptions &Opts);
 
 } // namespace mexec
 } // namespace pgsd

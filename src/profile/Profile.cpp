@@ -340,7 +340,11 @@ ProfileData profile::profileModule(const MModule &M,
   MModule Instrumented = M; // deep copy
   InstrumentationPlan Plan = instrumentModule(Instrumented);
   Instrumented.NumProfCounters = Plan.NumCounters;
-  mexec::RunResult Result = mexec::run(Instrumented, TrainOptions);
+  // A training run is a one-shot execution of a freshly instrumented
+  // module: runWith bakes TrainOptions' cost model into a fresh stream,
+  // so even custom-cost training stays on the fast engine.
+  mexec::RunResult Result =
+      mexec::runWith(mexec::Engine::Fast, Instrumented, TrainOptions);
   if (Result.Trapped)
     return ProfileData(); // empty: caller decides how to proceed
   return recoverCounts(Plan, Result.Counters);

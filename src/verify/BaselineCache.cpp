@@ -1,0 +1,50 @@
+//===-- verify/BaselineCache.cpp - Shared baseline run cache ---------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/BaselineCache.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace pgsd;
+using namespace pgsd::verify;
+
+struct BaselineCache::Entry {
+  std::once_flag Once;
+  mexec::RunResult Result;
+};
+
+BaselineCache::BaselineCache(const mir::MModule &BaselineMod,
+                             const VerifyOptions &Opts)
+    : Baseline(&BaselineMod), MaxSteps(Opts.MaxSteps), Engine(Opts.Engine) {
+  Battery = Opts.InputBattery.empty() ? defaultInputBattery()
+                                      : Opts.InputBattery;
+  if (Engine == mexec::Engine::Fast)
+    Compiled.emplace(BaselineMod);
+  Entries = std::make_unique<Entry[]>(Battery.size());
+}
+
+BaselineCache::~BaselineCache() = default;
+
+const mexec::RunResult &BaselineCache::baselineRun(size_t Index) const {
+  assert(Index < Battery.size() && "input index outside the battery");
+  Entry &E = Entries[Index];
+  bool IRan = false;
+  std::call_once(E.Once, [&] {
+    mexec::RunOptions Run;
+    Run.Input = Battery[Index];
+    Run.CollectOutput = true;
+    Run.MaxSteps = MaxSteps;
+    E.Result = Compiled ? Compiled->run(Run) : mexec::run(*Baseline, Run);
+    IRan = true;
+  });
+  if (IRan)
+    Fills.fetch_add(1, std::memory_order_relaxed);
+  else
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  return E.Result;
+}

@@ -1,0 +1,88 @@
+//===-- verify/BaselineCache.h - Shared baseline run cache ------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoizes the baseline half of differential execution. A batch of N
+/// variant seeds (driver::makeVariantsBatch) verifies every variant
+/// against the *same* baseline on the *same* input battery, so without a
+/// cache the baseline runs N x (1 + retries) times per input. One
+/// BaselineCache resolves the battery once, compiles the baseline once
+/// (for the fast engine), and computes each input's baseline RunResult
+/// on first use only.
+///
+/// Thread-safety: entries fill under a per-entry std::once_flag, so
+/// ThreadPool workers can share one const BaselineCache without
+/// coordination; whoever asks first computes, everyone else blocks until
+/// the result is published and then reads it read-only. Hit/fill
+/// counters are atomic and surface in driver::BatchResult.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_VERIFY_BASELINECACHE_H
+#define PGSD_VERIFY_BASELINECACHE_H
+
+#include "mexec/Interp.h"
+#include "mexec/Precompiled.h"
+#include "verify/Verifier.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace pgsd {
+namespace verify {
+
+/// Baseline RunResults for one (baseline module, VerifyOptions) pair,
+/// computed lazily and shared read-only across verification calls.
+/// Non-copyable; the referenced baseline module must outlive the cache.
+class BaselineCache {
+public:
+  /// Resolves the battery from \p Opts (falling back to
+  /// defaultInputBattery()) and, when Opts.Engine is Fast, compiles the
+  /// baseline eagerly so every entry fill reuses one stream.
+  BaselineCache(const mir::MModule &Baseline, const VerifyOptions &Opts);
+  ~BaselineCache();
+
+  BaselineCache(const BaselineCache &) = delete;
+  BaselineCache &operator=(const BaselineCache &) = delete;
+
+  /// The resolved input battery (satellite contract: built once per
+  /// VerifyOptions resolution, handed around by reference).
+  const std::vector<std::vector<int32_t>> &battery() const {
+    return Battery;
+  }
+
+  /// The baseline RunResult for battery()[Index], computed on first
+  /// request (CollectOutput set, MaxSteps from the VerifyOptions the
+  /// cache was built with). Safe to call concurrently.
+  const mexec::RunResult &baselineRun(size_t Index) const;
+
+  /// Requests served from an already-filled entry.
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+
+  /// Requests that computed the entry (at most battery().size()).
+  uint64_t fills() const { return Fills.load(std::memory_order_relaxed); }
+
+private:
+  const mir::MModule *Baseline;
+  uint64_t MaxSteps;
+  mexec::Engine Engine;
+  std::vector<std::vector<int32_t>> Battery;
+  /// Compiled baseline stream (fast engine only).
+  std::optional<mexec::Precompiled> Compiled;
+  struct Entry; // Holds a std::once_flag: non-movable, hence the array.
+  std::unique_ptr<Entry[]> Entries;
+  mutable std::atomic<uint64_t> Hits{0};
+  mutable std::atomic<uint64_t> Fills{0};
+};
+
+} // namespace verify
+} // namespace pgsd
+
+#endif // PGSD_VERIFY_BASELINECACHE_H

@@ -8,13 +8,16 @@
 #include "verify/Verifier.h"
 
 #include "mexec/Interp.h"
+#include "mexec/Precompiled.h"
 #include "support/Rng.h"
+#include "verify/BaselineCache.h"
 #include "x86/Decoder.h"
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
 
 using namespace pgsd;
 using namespace pgsd::verify;
@@ -74,26 +77,34 @@ std::string format(const char *Fmt, ...) {
 
 void diffExecute(const MModule &Baseline, const MModule &Variant,
                  const VerifyOptions &Opts, Report &R) {
-  const std::vector<std::vector<int32_t>> Default =
-      Opts.InputBattery.empty() ? defaultInputBattery()
-                                : std::vector<std::vector<int32_t>>();
-  const auto &Battery =
-      Opts.InputBattery.empty() ? Default : Opts.InputBattery;
+  // The baseline side comes from the caller's shared cache when one is
+  // provided; otherwise a local cache still resolves the battery once
+  // per diffExecute call and memoizes nothing beyond it (each input's
+  // baseline runs exactly once here anyway).
+  std::optional<BaselineCache> Local;
+  const BaselineCache &Cache =
+      Opts.Cache ? *Opts.Cache : Local.emplace(Baseline, Opts);
+  const std::vector<std::vector<int32_t>> &Battery = Cache.battery();
 
+  // The variant reruns on every input: compile it once up front.
+  std::optional<mexec::Precompiled> FastVariant;
+  if (Opts.Engine == mexec::Engine::Fast)
+    FastVariant.emplace(Variant);
+
+  mexec::RunOptions Run;
+  Run.CollectOutput = true;
   for (size_t In = 0; In != Battery.size(); ++In) {
-    mexec::RunOptions Run;
-    Run.Input = Battery[In];
-    Run.CollectOutput = true;
-    Run.MaxSteps = Opts.MaxSteps;
-    mexec::RunResult RB = mexec::run(Baseline, Run);
+    const mexec::RunResult &RB = Cache.baselineRun(In);
     if (RB.Trapped && RB.Trap == mexec::TrapKind::StepBudget)
       continue; // Non-terminating on this input: nothing to compare.
 
     // NOP insertion at most doubles the dynamic instruction count (one
     // NOP per original instruction); block shifting adds one jump per
     // call. Budget accordingly so legitimate NOPs never trip the limit.
+    Run.Input = Battery[In];
     Run.MaxSteps = RB.Instructions * 2 + 4096;
-    mexec::RunResult RV = mexec::run(Variant, Run);
+    mexec::RunResult RV =
+        FastVariant ? FastVariant->run(Run) : mexec::run(Variant, Run);
 
     if (RB.Trapped != RV.Trapped || RB.Trap != RV.Trap) {
       R.add(ErrorCode::TrapMismatch,

@@ -37,6 +37,7 @@
 
 #include "codegen/Linker.h"
 #include "lir/MIR.h"
+#include "mexec/Interp.h"
 #include "verify/Diagnostic.h"
 
 #include <cstdint>
@@ -45,6 +46,8 @@
 
 namespace pgsd {
 namespace verify {
+
+class BaselineCache;
 
 /// Configuration of one verification run.
 struct VerifyOptions {
@@ -75,6 +78,19 @@ struct VerifyOptions {
   /// Retry budget for driver::makeVariantVerified (total attempts,
   /// including the first).
   unsigned MaxAttempts = 3;
+
+  /// Execution engine for differential runs. Fast and Reference are
+  /// bit-identical by contract (mexec/Precompiled.h), so this only
+  /// affects verification throughput.
+  mexec::Engine Engine = mexec::Engine::Fast;
+
+  /// Optional shared baseline run cache (verify/BaselineCache.h). When
+  /// set, diffExecute takes its battery and baseline RunResults from the
+  /// cache instead of re-running the baseline; the cache must have been
+  /// built from the same baseline module and equivalent options. When
+  /// null, callers that verify repeatedly (retry loops, batches) still
+  /// get a per-call battery built exactly once.
+  const BaselineCache *Cache = nullptr;
 
   /// Test seam: invoked on each candidate variant before verification
   /// (fault-injection tests corrupt the candidate here). Receives the

@@ -76,6 +76,13 @@ TEST_P(BatchParityTest, SerialAndParallelImagesAreByteIdentical) {
   EXPECT_EQ(A.TotalAttempts, B.TotalAttempts);
   // The workload battery is known-good: nothing should be rejected.
   EXPECT_TRUE(B.allAccepted());
+  // The shared baseline cache runs the baseline once per input (the
+  // battery here is a single stream), then serves every further variant
+  // attempt from memory -- under any job count.
+  EXPECT_EQ(A.BaselineCacheFills, 1u);
+  EXPECT_EQ(B.BaselineCacheFills, 1u);
+  EXPECT_EQ(A.BaselineCacheHits, A.TotalAttempts - 1);
+  EXPECT_EQ(B.BaselineCacheHits, B.TotalAttempts - 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -115,6 +122,10 @@ TEST(Batch, CountersAccountForEverySeed) {
   EXPECT_EQ(R.Jobs, 4u);
   for (size_t I = 0; I != Seeds.size(); ++I)
     EXPECT_EQ(R.Variants[I].SeedUsed, Seeds[I]) << I;
+  // Default battery: the baseline fills each input's cache entry at
+  // most once; with 8 seeds sharing one cache, most requests must hit.
+  EXPECT_LE(R.BaselineCacheFills, verify::defaultInputBattery().size());
+  EXPECT_GT(R.BaselineCacheHits, R.BaselineCacheFills);
 }
 
 TEST(Batch, DefaultJobCountUsesHardwareConcurrency) {

@@ -92,6 +92,9 @@ int usage() {
                "  --model M           log (default) | linear | uniform\n"
                "  --xchg              include the bus-locking XCHG NOPs\n"
                "  --block-shift       also insert entry pad blocks\n"
+               "  --engine E          fast (default) | reference\n"
+               "                      execution engine for run/verify/\n"
+               "                      batch (bit-identical results)\n"
                "  --retries N         verification attempts (default 3)\n"
                "  --variants N        variants per program (analyze)\n"
                "  --seeds N           batch size: seeds BASE..BASE+N-1\n"
@@ -144,6 +147,7 @@ struct Options {
   std::string Model = "log";
   unsigned Retries = 3;
   unsigned Variants = 3;
+  mexec::Engine Engine = mexec::Engine::Fast;
   unsigned Seeds = 8;      ///< Batch size (batch command).
   unsigned Jobs = 0;       ///< Worker threads; 0 means all cores.
   std::string OutDir;      ///< Where batch writes variant images.
@@ -200,6 +204,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (Opts.Model != "log" && Opts.Model != "linear" &&
           Opts.Model != "uniform") {
         std::fprintf(stderr, "pgsdc: unknown model '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--engine") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      if (!mexec::parseEngine(V, Opts.Engine)) {
+        std::fprintf(stderr, "pgsdc: unknown engine '%s'\n", V);
         return false;
       }
     } else if (Arg == "--retries") {
@@ -313,7 +325,7 @@ int cmdRun(const Options &Opts) {
   if (int Err = loadProgram(Opts, P))
     return Err;
   mexec::RunResult R =
-      driver::execute(P.MIR, parseInput(Opts.InputText), true);
+      driver::execute(P.MIR, parseInput(Opts.InputText), true, Opts.Engine);
   std::fputs(R.Output.c_str(), stdout);
   if (R.Trapped) {
     std::fprintf(stderr, "pgsdc: program trapped (%s): %s\n",
@@ -418,6 +430,7 @@ int cmdVerify(const Options &Opts) {
   diversity::DiversityOptions D = diversityOptions(Opts);
   verify::VerifyOptions VOpts;
   VOpts.MaxAttempts = Opts.Retries;
+  VOpts.Engine = Opts.Engine;
   driver::VerifiedVariant VV =
       driver::makeVariantVerified(P, D, Opts.Seed, VOpts);
   if (!VV.Report.ok())
@@ -464,6 +477,7 @@ int cmdBatch(const Options &Opts) {
   driver::BatchOptions B;
   B.Jobs = Opts.Jobs;
   B.Verify.MaxAttempts = Opts.Retries;
+  B.Verify.Engine = Opts.Engine;
   driver::BatchResult R =
       driver::makeVariantsBatch(P, diversityOptions(Opts), Seeds, B);
 
@@ -504,6 +518,9 @@ int cmdBatch(const Options &Opts) {
               "utilization %.1fx)\n",
               R.variantsPerSecond(), R.WallSeconds, R.CpuSeconds,
               R.WallSeconds > 0 ? R.CpuSeconds / R.WallSeconds : 0.0);
+  std::printf("baseline cache: %llu fills, %llu hits\n",
+              static_cast<unsigned long long>(R.BaselineCacheFills),
+              static_cast<unsigned long long>(R.BaselineCacheHits));
   if (!R.allAccepted()) {
     std::fprintf(stderr,
                  "pgsdc: %llu seed(s) fell back to the baseline image\n",
