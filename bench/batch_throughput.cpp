@@ -7,7 +7,9 @@
 // against its serial baseline: every workload of the SPEC-like suite is
 // compiled and profiled once, then a seed population is diversified and
 // verified at Jobs=1 and Jobs=J, and the wall-clock speedup is recorded
-// as JSON (BENCH_batch.json by default, or argv[1]).
+// as JSON (BENCH_batch.json by default, or argv[1]). With argv[2],
+// pipeline telemetry is enabled and exported there as pgsd-metrics-v1
+// JSON (per-phase timings of every batch the bench ran).
 //
 // Knobs:
 //   PGSD_QUICK=1     -- 4 seeds over a 5-workload subset (CI smoke).
@@ -23,6 +25,8 @@
 
 #include "bench/BenchCommon.h"
 #include "driver/Batch.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
@@ -57,28 +61,32 @@ struct Row {
   }
 };
 
+// Numbers route through obs::jsonNumber so a zero-wall-clock ratio
+// (NaN/inf) or a comma-decimal locale can never produce invalid JSON.
 void appendJsonRow(std::string &Out, const Row &R, bool Last) {
-  char Buf[512];
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "    {\"name\": \"%s\", \"seeds\": %u, "
-      "\"serial_wall_s\": %.4f, \"parallel_wall_s\": %.4f, "
-      "\"speedup\": %.3f, \"serial_vps\": %.2f, \"parallel_vps\": %.2f, "
-      "\"accepted\": %llu, \"rejected\": %llu, \"retried\": %llu}%s\n",
-      R.Name.c_str(), R.Seeds, R.Serial.WallSeconds,
-      R.Parallel.WallSeconds, R.speedup(), R.Serial.variantsPerSecond(),
-      R.Parallel.variantsPerSecond(),
-      static_cast<unsigned long long>(R.Parallel.Accepted),
-      static_cast<unsigned long long>(R.Parallel.Rejected),
-      static_cast<unsigned long long>(R.Parallel.Retried),
-      Last ? "" : ",");
-  Out += Buf;
+  Out += "    {\"name\": " + obs::jsonString(R.Name) +
+         ", \"seeds\": " + obs::jsonUInt(R.Seeds) +
+         ", \"serial_wall_s\": " + obs::jsonNumber(R.Serial.WallSeconds, 4) +
+         ", \"parallel_wall_s\": " +
+         obs::jsonNumber(R.Parallel.WallSeconds, 4) +
+         ", \"speedup\": " + obs::jsonNumber(R.speedup(), 3) +
+         ", \"serial_vps\": " +
+         obs::jsonNumber(R.Serial.variantsPerSecond(), 2) +
+         ", \"parallel_vps\": " +
+         obs::jsonNumber(R.Parallel.variantsPerSecond(), 2) +
+         ", \"accepted\": " + obs::jsonUInt(R.Parallel.Accepted) +
+         ", \"rejected\": " + obs::jsonUInt(R.Parallel.Rejected) +
+         ", \"retried\": " + obs::jsonUInt(R.Parallel.Retried) + "}" +
+         (Last ? "\n" : ",\n");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_batch.json";
+  const char *MetricsPath = Argc > 2 ? Argv[2] : nullptr;
+  if (MetricsPath)
+    obs::setEnabled(true);
   bool Quick = [] {
     const char *Q = std::getenv("PGSD_QUICK");
     return Q && Q[0] == '1';
@@ -159,16 +167,16 @@ int main(int Argc, char **Argv) {
 
   std::string Json;
   Json += "{\n";
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf),
-                "  \"jobs\": %u,\n  \"hardware_concurrency\": %u,\n"
-                "  \"seeds_per_workload\": %u,\n"
-                "  \"total_serial_wall_s\": %.4f,\n"
-                "  \"total_parallel_wall_s\": %.4f,\n"
-                "  \"speedup\": %.3f,\n  \"workloads\": [\n",
-                Jobs, support::ThreadPool::defaultConcurrency(), SeedsPer,
-                TotalSerial, TotalParallel, Speedup);
-  Json += Buf;
+  Json += "  \"jobs\": " + obs::jsonUInt(Jobs) + ",\n";
+  Json += "  \"hardware_concurrency\": " +
+          obs::jsonUInt(support::ThreadPool::defaultConcurrency()) + ",\n";
+  Json += "  \"seeds_per_workload\": " + obs::jsonUInt(SeedsPer) + ",\n";
+  Json += "  \"total_serial_wall_s\": " + obs::jsonNumber(TotalSerial, 4) +
+          ",\n";
+  Json += "  \"total_parallel_wall_s\": " +
+          obs::jsonNumber(TotalParallel, 4) + ",\n";
+  Json += "  \"speedup\": " + obs::jsonNumber(Speedup, 3) +
+          ",\n  \"workloads\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I)
     appendJsonRow(Json, Rows[I], I + 1 == Rows.size());
   Json += "  ]\n}\n";
@@ -181,5 +189,16 @@ int main(int Argc, char **Argv) {
   std::fputs(Json.c_str(), Out);
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath);
+
+  if (MetricsPath) {
+    obs::gaugeSet("bench.batch.speedup", Speedup);
+    obs::counterAdd("bench.batch.workloads", Rows.size());
+    if (!obs::writeMetricsJson(MetricsPath)) {
+      std::fprintf(stderr, "batch_throughput: cannot write %s\n",
+                   MetricsPath);
+      return 1;
+    }
+    std::printf("wrote %s\n", MetricsPath);
+  }
   return 0;
 }

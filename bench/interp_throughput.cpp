@@ -8,7 +8,8 @@
 // engine against the precompiled direct-threaded engine
 // (mexec::Precompiled) over the SPEC-like workload suite, and records
 // per-workload MIPS plus the geometric-mean speedup as JSON
-// (BENCH_interp.json by default, or argv[1]).
+// (BENCH_interp.json by default, or argv[1]). With argv[2], pipeline
+// telemetry is enabled and exported there as pgsd-metrics-v1 JSON.
 //
 // Bit-identity is asserted while measuring: the two engines must return
 // the same Checksum/Instructions/Cycles10 on every workload, or the
@@ -24,11 +25,13 @@
 
 #include "driver/Driver.h"
 #include "mexec/Precompiled.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "support/Statistics.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -74,6 +77,9 @@ template <typename F> double bestOf(unsigned Reps, F &&Fn) {
 
 int main(int Argc, char **Argv) {
   const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_interp.json";
+  const char *MetricsPath = Argc > 2 ? Argv[2] : nullptr;
+  if (MetricsPath)
+    obs::setEnabled(true);
   bool Quick = [] {
     const char *Q = std::getenv("PGSD_QUICK");
     return Q && Q[0] == '1';
@@ -88,7 +94,7 @@ int main(int Argc, char **Argv) {
                               : Suite.size();
 
   std::vector<Row> Rows;
-  double LogSum = 0.0;
+  std::vector<double> Speedups;
   for (size_t WI = 0; WI != NumWorkloads; ++WI) {
     const workloads::Workload &W = Suite[WI];
     driver::Program P = driver::compileProgram(W.Source, W.Name);
@@ -121,7 +127,7 @@ int main(int Argc, char **Argv) {
     R.Instructions = Ref.Instructions;
     R.RefSeconds = bestOf(Reps, [&] { mexec::run(P.MIR, Opts); });
     R.FastSeconds = bestOf(Reps, [&] { PC.run(Opts); });
-    LogSum += std::log(R.speedup());
+    Speedups.push_back(R.speedup());
 
     std::printf("%-16s %9llu instrs: ref %7.2f MIPS, fast %8.2f MIPS, "
                 "speedup %5.2fx\n",
@@ -131,7 +137,10 @@ int main(int Argc, char **Argv) {
     Rows.push_back(std::move(R));
   }
 
-  double Geomean = std::exp(LogSum / static_cast<double>(Rows.size()));
+  // geometricMean skips non-positive entries, so a sub-resolution timing
+  // (speedup() == 0.0 when FastSeconds rounds to zero) degrades one
+  // sample instead of turning the summary into exp(-inf) = 0.
+  double Geomean = pgsd::geometricMean(Speedups);
   std::printf("geomean speedup: %.2fx over %zu workloads\n", Geomean,
               Rows.size());
   if (Geomean < 1.0)
@@ -141,25 +150,21 @@ int main(int Argc, char **Argv) {
                 "(geomean %.2fx < 1.0)\n",
                 Geomean);
 
+  // All numeric fields route through obs::jsonNumber: it clamps NaN/inf
+  // (a zero-denominator MIPS is exported as 0, not as invalid JSON) and
+  // pins the '.' decimal separator regardless of the process locale.
   std::string Json = "{\n";
-  char Buf[256];
-  std::snprintf(Buf, sizeof(Buf),
-                "  \"reps\": %u,\n  \"geomean_speedup\": %.3f,\n"
-                "  \"workloads\": [\n",
-                Reps, Geomean);
-  Json += Buf;
+  Json += "  \"reps\": " + obs::jsonUInt(Reps) + ",\n";
+  Json += "  \"geomean_speedup\": " + obs::jsonNumber(Geomean, 3) +
+          ",\n  \"workloads\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Row &R = Rows[I];
-    char Line[320];
-    std::snprintf(Line, sizeof(Line),
-                  "    {\"name\": \"%s\", \"instructions\": %llu, "
-                  "\"ref_mips\": %.2f, \"fast_mips\": %.2f, "
-                  "\"speedup\": %.3f}%s\n",
-                  R.Name.c_str(),
-                  static_cast<unsigned long long>(R.Instructions),
-                  R.refMips(), R.fastMips(), R.speedup(),
-                  I + 1 == Rows.size() ? "" : ",");
-    Json += Line;
+    Json += "    {\"name\": " + obs::jsonString(R.Name) +
+            ", \"instructions\": " + obs::jsonUInt(R.Instructions) +
+            ", \"ref_mips\": " + obs::jsonNumber(R.refMips(), 2) +
+            ", \"fast_mips\": " + obs::jsonNumber(R.fastMips(), 2) +
+            ", \"speedup\": " + obs::jsonNumber(R.speedup(), 3) + "}" +
+            (I + 1 == Rows.size() ? "\n" : ",\n");
   }
   Json += "  ]\n}\n";
 
@@ -171,5 +176,16 @@ int main(int Argc, char **Argv) {
   std::fputs(Json.c_str(), Out);
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath);
+
+  if (MetricsPath) {
+    obs::gaugeSet("bench.interp.geomean_speedup", Geomean);
+    obs::counterAdd("bench.interp.workloads", Rows.size());
+    if (!obs::writeMetricsJson(MetricsPath)) {
+      std::fprintf(stderr, "interp_throughput: cannot write %s\n",
+                   MetricsPath);
+      return 1;
+    }
+    std::printf("wrote %s\n", MetricsPath);
+  }
   return 0;
 }

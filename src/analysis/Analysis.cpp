@@ -8,6 +8,7 @@
 #include "analysis/Analysis.h"
 
 #include "analysis/Checkers.h"
+#include "obs/Metrics.h"
 
 #include <cstdio>
 
@@ -259,32 +260,67 @@ std::string analysis::instrLocation(const mir::MFunction &F,
   return Out;
 }
 
+namespace {
+
+/// Span names for per-checker timings, indexed by CheckerKind. Static
+/// strings because obs::Span keeps only the pointer.
+constexpr const char *CheckerSpanNames[analysis::NumCheckers] = {
+    "analysis.cfg-well-formed", "analysis.reg-liveness",
+    "analysis.eflags-flow",     "analysis.stack-balance",
+    "analysis.frame-bounds",    "analysis.call-conv",
+};
+
+} // namespace
+
 verify::Report analysis::analyzeModule(const mir::MModule &M,
                                        const AnalysisOptions &Opts) {
   verify::Report R;
+  // Per-checker timing is sampled once per call: when telemetry is off,
+  // every span below is constructed with a null name and reads no clock.
+  const bool Timed = obs::enabled();
   auto Enabled = [&](CheckerKind K) {
     return Opts.Enabled[static_cast<unsigned>(K)];
+  };
+  auto SpanName = [&](CheckerKind K) {
+    return Timed ? CheckerSpanNames[static_cast<unsigned>(K)] : nullptr;
   };
   for (uint32_t F = 0; F != M.Functions.size(); ++F) {
     if (R.Diags.size() >= Opts.MaxDiagnostics)
       break;
     size_t Before = R.Diags.size();
-    if (Enabled(CheckerKind::CfgWellFormed))
+    if (Enabled(CheckerKind::CfgWellFormed)) {
+      obs::Span S(SpanName(CheckerKind::CfgWellFormed));
       detail::checkCfgWellFormed(M, F, Opts, R);
+    }
     // A structurally broken function would send the dataflow solver
     // through out-of-range branch targets; report it and move on.
     if (R.Diags.size() != Before)
       continue;
-    if (Enabled(CheckerKind::RegLiveness))
+    if (Enabled(CheckerKind::RegLiveness)) {
+      obs::Span S(SpanName(CheckerKind::RegLiveness));
       detail::checkRegLiveness(M, F, Opts, R);
-    if (Enabled(CheckerKind::EflagsFlow))
+    }
+    if (Enabled(CheckerKind::EflagsFlow)) {
+      obs::Span S(SpanName(CheckerKind::EflagsFlow));
       detail::checkEflagsFlow(M, F, Opts, R);
-    if (Enabled(CheckerKind::StackBalance))
+    }
+    if (Enabled(CheckerKind::StackBalance)) {
+      obs::Span S(SpanName(CheckerKind::StackBalance));
       detail::checkStackBalance(M, F, Opts, R);
-    if (Enabled(CheckerKind::FrameBounds))
+    }
+    if (Enabled(CheckerKind::FrameBounds)) {
+      obs::Span S(SpanName(CheckerKind::FrameBounds));
       detail::checkFrameBounds(M, F, Opts, R);
-    if (Enabled(CheckerKind::CallConv))
+    }
+    if (Enabled(CheckerKind::CallConv)) {
+      obs::Span S(SpanName(CheckerKind::CallConv));
       detail::checkCallConv(M, F, Opts, R);
+    }
+  }
+  if (Timed) {
+    obs::counterAdd("analysis.modules_analyzed");
+    if (!R.ok())
+      obs::counterAdd("analysis.modules_rejected");
   }
   return R;
 }

@@ -8,6 +8,7 @@
 #include "diversity/NopInsertion.h"
 
 #include "analysis/Analysis.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
 #include <cmath>
@@ -86,6 +87,13 @@ InsertionStats diversity::insertNops(MModule &M,
   unsigned NumNops =
       Opts.IncludeXchgNops ? x86::NumNopKinds : x86::NumDefaultNopKinds;
 
+  // Telemetry is sampled per block at most (never per instruction) and
+  // only when collection is on.
+  const bool Obs = obs::enabled();
+  // Deciles of pNOP in percent; the last implicit bucket catches >100.
+  static constexpr double PnopBuckets[] = {10, 20, 30, 40, 50,
+                                           60, 70, 80, 90, 100};
+
   // The paper's x_max: the hottest basic block in the whole program.
   uint64_t MaxCount = 0;
   for (const MFunction &F : M.Functions)
@@ -95,6 +103,9 @@ InsertionStats diversity::insertNops(MModule &M,
   for (MFunction &F : M.Functions) {
     for (MBasicBlock &BB : F.Blocks) {
       double PNop = nopProbability(BB.ProfileCount, MaxCount, Opts);
+      if (Obs)
+        obs::histogramObserve("diversity.pnop_percent", PNop * 100.0,
+                              PnopBuckets);
       std::vector<MInstr> Out;
       Out.reserve(BB.Instrs.size());
       for (const MInstr &I : BB.Instrs) {
@@ -115,12 +126,19 @@ InsertionStats diversity::insertNops(MModule &M,
             ++Stats.NopsInserted;
             ++Stats.PerKind[static_cast<size_t>(Nop.NopK)];
             Out.push_back(Nop);
+          } else {
+            ++Stats.NopsRejected;
           }
         }
         Out.push_back(I);
       }
       BB.Instrs = std::move(Out);
     }
+  }
+  if (Obs) {
+    obs::counterAdd("diversity.candidate_sites", Stats.CandidateSites);
+    obs::counterAdd("diversity.nops_accepted", Stats.NopsInserted);
+    obs::counterAdd("diversity.nops_rejected", Stats.NopsRejected);
   }
   assert(analysis::checkEflags(M).ok() &&
          "NOP insertion broke a flag def-use chain");

@@ -70,6 +70,11 @@ struct DiversityOptions {
 struct InsertionStats {
   uint64_t CandidateSites = 0; ///< Instructions considered.
   uint64_t NopsInserted = 0;
+  /// Sites whose roll succeeded but whose drawn candidate was refused by
+  /// the flag-effect screen (analysis::flagEffect != Neutral). Zero with
+  /// the current all-neutral Table 1 candidate set; nonzero would mean a
+  /// flag-unsafe candidate entered the table.
+  uint64_t NopsRejected = 0;
   std::array<uint64_t, x86::NumNopKinds> PerKind{};
 
   /// Fraction of sites that received a NOP.

@@ -7,11 +7,10 @@
 
 #include "driver/Batch.h"
 
+#include "obs/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/Time.h"
 #include "verify/BaselineCache.h"
-
-#include <chrono>
-#include <ctime>
 
 using namespace pgsd;
 using namespace pgsd::driver;
@@ -25,47 +24,70 @@ BatchResult driver::makeVariantsBatch(const Program &P,
                            : BOpts.Jobs;
   R.Variants.resize(Seeds.size());
 
+  // Telemetry: workers accumulate into per-seed LocalMetrics sinks --
+  // plain maps, no locks, no atomics on the hot path -- which are folded
+  // into the global registry only after the pool drains. Captured once
+  // here so a concurrent toggle cannot leave half the seeds with sinks.
+  const bool Obs = obs::enabled();
+  std::vector<obs::LocalMetrics> Sinks(Obs ? Seeds.size() : 0);
+
+  auto WallStart = support::monotonicSeconds();
+  auto CpuStart = support::processCpuSeconds();
+
   // Every seed verifies against the same baseline on the same battery:
   // one shared read-only cache runs the baseline once per input for the
   // whole batch instead of once per variant attempt. Entries fill under
   // per-entry once_flags, so sharing it across workers is race-free and
   // -- because each baseline run is a pure function of (baseline, input)
   // -- does not disturb the Jobs-independence determinism contract.
-  verify::BaselineCache Cache(P.MIR, BOpts.Verify);
   verify::VerifyOptions Verify = BOpts.Verify;
+  verify::BaselineCache Cache = [&] {
+    obs::Span S(Obs ? "batch.setup" : nullptr);
+    return verify::BaselineCache(P.MIR, BOpts.Verify);
+  }();
   Verify.Cache = &Cache;
 
-  auto WallStart = std::chrono::steady_clock::now();
-  std::clock_t CpuStart = std::clock();
+  // One seed's diversify-verify-link pipeline, routed into its own sink.
+  // Telemetry never touches the variant bits, so the Jobs-independence
+  // determinism contract is unaffected by whether it is enabled.
+  auto RunOne = [&](size_t I) {
+    obs::ScopedSink Route(Obs ? &Sinks[I] : nullptr);
+    obs::Span S(Obs ? "batch.seed" : nullptr);
+    R.Variants[I] =
+        makeVariantVerified(P, Opts, Seeds[I], Verify, BOpts.Link);
+  };
 
-  if (R.Jobs == 1) {
-    // Inline serial path: no pool threads, so the throughput bench's
-    // Jobs=1 baseline measures the pipeline alone, not thread overhead.
-    for (size_t I = 0; I != Seeds.size(); ++I)
-      R.Variants[I] =
-          makeVariantVerified(P, Opts, Seeds[I], Verify, BOpts.Link);
-  } else {
-    support::ThreadPool Pool(R.Jobs);
-    for (size_t I = 0; I != Seeds.size(); ++I) {
-      // Each task reads the shared immutable Program and writes only its
-      // own pre-sized slot; Pool.wait() is the synchronization point
-      // that publishes every slot to this thread.
-      Pool.enqueue([&R, &P, &Opts, &Seeds, &Verify, &BOpts, I] {
-        R.Variants[I] = makeVariantVerified(P, Opts, Seeds[I],
-                                            Verify, BOpts.Link);
-      });
+  {
+    obs::Span Fan(Obs ? "batch.fanout" : nullptr);
+    if (R.Jobs == 1) {
+      // Inline serial path: no pool threads, so the throughput bench's
+      // Jobs=1 baseline measures the pipeline alone, not thread
+      // overhead.
+      for (size_t I = 0; I != Seeds.size(); ++I)
+        RunOne(I);
+    } else {
+      support::ThreadPool Pool(R.Jobs);
+      for (size_t I = 0; I != Seeds.size(); ++I) {
+        // Each task reads the shared immutable Program and writes only
+        // its own pre-sized slot; Pool.wait() is the synchronization
+        // point that publishes every slot to this thread.
+        Pool.enqueue([&RunOne, I] { RunOne(I); });
+      }
+      Pool.wait();
     }
-    Pool.wait();
   }
 
   R.BaselineCacheHits = Cache.hits();
   R.BaselineCacheFills = Cache.fills();
 
-  R.WallSeconds = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - WallStart)
-                      .count();
-  R.CpuSeconds = static_cast<double>(std::clock() - CpuStart) /
-                 static_cast<double>(CLOCKS_PER_SEC);
+  R.WallSeconds =
+      support::elapsedSeconds(WallStart, support::monotonicSeconds());
+  // Process CPU time from support::processCpuSeconds(), not
+  // std::clock(): clock_t wraps after ~36 minutes on 32-bit ABIs, which
+  // corrupted long PGSD_STRESS sweeps. elapsedSeconds additionally
+  // clamps at zero so a clock hiccup can never export a negative.
+  R.CpuSeconds =
+      support::elapsedSeconds(CpuStart, support::processCpuSeconds());
 
   for (const VerifiedVariant &V : R.Variants) {
     R.TotalAttempts += V.Attempts;
@@ -75,6 +97,26 @@ BatchResult driver::makeVariantsBatch(const Program &P,
       ++R.Rejected;
     if (V.Attempts > 1)
       ++R.Retried;
+  }
+
+  if (Obs) {
+    obs::Span Fin("batch.finalize");
+    obs::Registry &Reg = obs::Registry::global();
+    for (const obs::LocalMetrics &Sink : Sinks)
+      Reg.merge(Sink);
+    // Export the batch bookkeeping itself; BatchTest pins that these
+    // equal the BatchResult fields exactly.
+    obs::counterAdd("batch.seeds", Seeds.size());
+    obs::counterAdd("batch.accepted", R.Accepted);
+    obs::counterAdd("batch.rejected", R.Rejected);
+    obs::counterAdd("batch.retried", R.Retried);
+    obs::counterAdd("batch.attempts_total", R.TotalAttempts);
+    obs::counterAdd("verify.baseline_cache.hits", R.BaselineCacheHits);
+    obs::counterAdd("verify.baseline_cache.fills", R.BaselineCacheFills);
+    obs::gaugeSet("batch.jobs", R.Jobs);
+    obs::gaugeSet("batch.wall_seconds", R.WallSeconds);
+    obs::gaugeSet("batch.cpu_seconds", R.CpuSeconds);
+    obs::gaugeSet("batch.variants_per_second", R.variantsPerSecond());
   }
   return R;
 }

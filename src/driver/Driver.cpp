@@ -11,6 +11,7 @@
 #include "frontend/Lower.h"
 #include "frontend/Parser.h"
 #include "lir/ISel.h"
+#include "obs/Metrics.h"
 #include "passes/Passes.h"
 #include "verify/BaselineCache.h"
 
@@ -26,7 +27,10 @@ Program driver::compileProgram(std::string_view Source,
   Program P;
   P.Name = Name;
   std::vector<frontend::Diag> Diags;
-  P.IR = frontend::compileToIR(Source, Name, Diags);
+  {
+    obs::Span S("pipeline.frontend");
+    P.IR = frontend::compileToIR(Source, Name, Diags);
+  }
   if (!Diags.empty()) {
     P.Diags.add(verify::ErrorCode::ParseError,
                 frontend::formatDiags(Diags));
@@ -38,13 +42,19 @@ Program driver::compileProgram(std::string_view Source,
                 "internal error: IR does not verify: " + Problem);
     return P;
   }
-  if (Optimize)
+  if (Optimize) {
+    obs::Span S("pipeline.passes");
     passes::optimize(P.IR);
-  P.MIR = lir::selectInstructions(P.IR);
-  // Passes expose each other's opportunities (a dead store uncovers a
-  // dead constant materialization); iterate to a bounded fixpoint.
-  for (unsigned Iter = 0; Iter != 4 && lir::peephole(P.MIR) != 0; ++Iter)
-    ;
+  }
+  {
+    obs::Span S("pipeline.isel");
+    P.MIR = lir::selectInstructions(P.IR);
+    // Passes expose each other's opportunities (a dead store uncovers a
+    // dead constant materialization); iterate to a bounded fixpoint.
+    for (unsigned Iter = 0; Iter != 4 && lir::peephole(P.MIR) != 0;
+         ++Iter)
+      ;
+  }
   Problem = mir::verify(P.MIR);
   if (!Problem.empty()) {
     P.Diags.add(verify::ErrorCode::MIRInvalid,
@@ -53,7 +63,11 @@ Program driver::compileProgram(std::string_view Source,
   }
   // The baseline MIR must already uphold every invariant the analyzer
   // proves; a diagnostic here is a backend bug, not a diversity bug.
-  P.Diags.merge(analysis::analyzeModule(P.MIR));
+  {
+    obs::Span S("pipeline.analyze");
+    P.Diags.merge(analysis::analyzeModule(P.MIR));
+  }
+  obs::counterAdd("driver.programs_compiled");
   return P;
 }
 
@@ -74,13 +88,20 @@ Variant driver::makeVariant(const Program &P,
                             uint64_t Seed,
                             const codegen::LinkOptions &Link) {
   Variant V;
-  V.MIR = diversity::makeVariant(P.MIR, Opts, Seed, &V.Stats);
-  V.Image = codegen::link(V.MIR, Link);
+  {
+    obs::Span S("pipeline.diversify");
+    V.MIR = diversity::makeVariant(P.MIR, Opts, Seed, &V.Stats);
+  }
+  {
+    obs::Span S("pipeline.emit");
+    V.Image = codegen::link(V.MIR, Link);
+  }
   return V;
 }
 
 codegen::Image driver::linkBaseline(const Program &P,
                                     const codegen::LinkOptions &Link) {
+  obs::Span S("pipeline.emit");
   return codegen::link(P.MIR, Link);
 }
 
@@ -118,18 +139,27 @@ driver::makeVariantVerified(const Program &P,
     // Static screening first: when the analyzer can refute the variant
     // from its MIR alone, skip the much more expensive differential
     // execution and go straight to the next seed.
-    verify::Report R = analysis::analyzeModule(V.MIR);
-    if (!R.ok())
-      R.add(verify::ErrorCode::StaticAnalysisRejected,
-            "variant rejected by static analysis before execution");
-    else
-      R = verify::verifyVariant(P.MIR, V.MIR, V.Image, Effective);
+    obs::counterAdd("verify.attempts");
+    verify::Report R;
+    {
+      obs::Span VS("pipeline.verify");
+      R = analysis::analyzeModule(V.MIR);
+      if (!R.ok()) {
+        obs::counterAdd("verify.static_rejections");
+        R.add(verify::ErrorCode::StaticAnalysisRejected,
+              "variant rejected by static analysis before execution");
+      } else {
+        R = verify::verifyVariant(P.MIR, V.MIR, V.Image, Effective);
+      }
+    }
     Out.Attempts = Attempt + 1;
     if (R.ok()) {
       Out.V = std::move(V);
       Out.SeedUsed = S;
+      obs::counterAdd("verify.accepted");
       return Out;
     }
+    obs::counterAdd("verify.rejected_attempts");
     // Prefix each rejected attempt's diagnostics so a multi-attempt
     // report reads as a timeline.
     char Prefix[64];
@@ -140,6 +170,7 @@ driver::makeVariantVerified(const Program &P,
   }
   // Every attempt failed: degrade to the undiversified baseline image
   // rather than shipping an unverified variant or nothing at all.
+  obs::counterAdd("verify.fallbacks");
   Out.UsedFallback = true;
   Out.SeedUsed = Seed;
   Out.V.MIR = P.MIR;

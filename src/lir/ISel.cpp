@@ -8,6 +8,7 @@
 #include "lir/ISel.h"
 
 #include "lir/RegPlan.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
 #include <map>
@@ -22,10 +23,18 @@ using x86::Reg;
 
 namespace {
 
+/// Register allocation is the one costly sub-stage of selection; time it
+/// separately so metrics.json can break "isel" down further. The span is
+/// inert (no clock reads) while telemetry is disabled.
+auto timedPlanFunction(const Function &Fn) {
+  obs::Span S("pipeline.regalloc");
+  return planFunction(Fn);
+}
+
 class Selector {
 public:
   Selector(const ir::Module &Mod, const Function &Fn, mir::MFunction &Out)
-      : M(Mod), F(Fn), MF(Out), Plan(planFunction(Fn)) {
+      : M(Mod), F(Fn), MF(Out), Plan(timedPlanFunction(Fn)) {
     computeKnownConstants();
   }
 

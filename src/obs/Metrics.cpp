@@ -1,0 +1,230 @@
+//===-- obs/Metrics.cpp - Pipeline telemetry registry ---------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Time.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace pgsd;
+using namespace pgsd::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void HistogramData::observe(double Value) {
+  assert(Counts.size() == UpperBounds.size() + 1 &&
+         "histogram not initialized");
+  size_t B = 0;
+  while (B != UpperBounds.size() && Value > UpperBounds[B])
+    ++B;
+  ++Counts[B];
+  ++Total;
+}
+
+void HistogramData::merge(const HistogramData &O) {
+  if (Counts.empty()) {
+    *this = O;
+    return;
+  }
+  assert(UpperBounds == O.UpperBounds &&
+         "merging histograms with different bucket bounds");
+  for (size_t I = 0; I != Counts.size() && I != O.Counts.size(); ++I)
+    Counts[I] += O.Counts[I];
+  Total += O.Total;
+}
+
+//===----------------------------------------------------------------------===//
+// LocalMetrics
+//===----------------------------------------------------------------------===//
+
+void LocalMetrics::addCounter(std::string_view Name, uint64_t Delta) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void LocalMetrics::setGauge(std::string_view Name, double Value) {
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    Gauges.emplace(std::string(Name), Value);
+  else
+    It->second = Value;
+}
+
+void LocalMetrics::addPhase(std::string_view Name, const PhaseStats &S) {
+  auto It = Phases.find(Name);
+  if (It == Phases.end())
+    Phases.emplace(std::string(Name), S);
+  else
+    It->second.merge(S);
+}
+
+void LocalMetrics::observe(std::string_view Name, double Value,
+                           std::span<const double> UpperBounds) {
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end()) {
+    HistogramData H;
+    H.UpperBounds.assign(UpperBounds.begin(), UpperBounds.end());
+    H.Counts.assign(UpperBounds.size() + 1, 0);
+    It = Histograms.emplace(std::string(Name), std::move(H)).first;
+  }
+  It->second.observe(Value);
+}
+
+void LocalMetrics::merge(const LocalMetrics &O) {
+  for (const auto &[Name, Delta] : O.Counters)
+    addCounter(Name, Delta);
+  for (const auto &[Name, Value] : O.Gauges)
+    setGauge(Name, Value);
+  for (const auto &[Name, S] : O.Phases)
+    addPhase(Name, S);
+  for (const auto &[Name, H] : O.Histograms) {
+    auto It = Histograms.find(Name);
+    if (It == Histograms.end())
+      Histograms.emplace(Name, H);
+    else
+      It->second.merge(H);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Registry and routing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide on/off switch, read relaxed on every instrumentation
+/// site; the registry mutex is only ever taken once this is true.
+std::atomic<bool> Enabled{false};
+
+/// The calling thread's installed sink (null: report to the registry).
+thread_local LocalMetrics *ThreadSink = nullptr;
+
+} // namespace
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+void Registry::setEnabled(bool On) {
+  Enabled.store(On, std::memory_order_relaxed);
+}
+
+bool obs::enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+void obs::setEnabled(bool On) { Registry::global().setEnabled(On); }
+
+void Registry::addCounter(std::string_view Name, uint64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data.addCounter(Name, Delta);
+}
+
+void Registry::setGauge(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data.setGauge(Name, Value);
+}
+
+void Registry::addPhase(std::string_view Name, const PhaseStats &S) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data.addPhase(Name, S);
+}
+
+void Registry::observe(std::string_view Name, double Value,
+                       std::span<const double> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data.observe(Name, Value, UpperBounds);
+}
+
+void Registry::merge(const LocalMetrics &Sink) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data.merge(Sink);
+}
+
+LocalMetrics Registry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Data;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Data = LocalMetrics();
+}
+
+ScopedSink::ScopedSink(LocalMetrics *Sink) {
+  if (!Sink)
+    return;
+  Prev = ThreadSink;
+  ThreadSink = Sink;
+  Installed = true;
+}
+
+ScopedSink::~ScopedSink() {
+  if (Installed)
+    ThreadSink = Prev;
+}
+
+void obs::counterAdd(std::string_view Name, uint64_t Delta) {
+  if (!enabled())
+    return;
+  if (LocalMetrics *Sink = ThreadSink)
+    Sink->addCounter(Name, Delta);
+  else
+    Registry::global().addCounter(Name, Delta);
+}
+
+void obs::gaugeSet(std::string_view Name, double Value) {
+  if (!enabled())
+    return;
+  if (LocalMetrics *Sink = ThreadSink)
+    Sink->setGauge(Name, Value);
+  else
+    Registry::global().setGauge(Name, Value);
+}
+
+void obs::histogramObserve(std::string_view Name, double Value,
+                           std::span<const double> UpperBounds) {
+  if (!enabled())
+    return;
+  if (LocalMetrics *Sink = ThreadSink)
+    Sink->observe(Name, Value, UpperBounds);
+  else
+    Registry::global().observe(Name, Value, UpperBounds);
+}
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+Span::Span(const char *SpanName) {
+  if (!SpanName || !enabled())
+    return; // Inert: Name stays null and the destructor is free.
+  Name = SpanName;
+  Wall0 = support::monotonicSeconds();
+  Cpu0 = support::threadCpuSeconds();
+}
+
+Span::~Span() {
+  if (!Name)
+    return;
+  PhaseStats S;
+  S.Count = 1;
+  S.WallSeconds =
+      support::elapsedSeconds(Wall0, support::monotonicSeconds());
+  S.CpuSeconds =
+      support::elapsedSeconds(Cpu0, support::threadCpuSeconds());
+  if (LocalMetrics *Sink = ThreadSink)
+    Sink->addPhase(Name, S);
+  else
+    Registry::global().addPhase(Name, S);
+}

@@ -23,14 +23,23 @@ double pgsd::mean(const std::vector<double> &Values) {
 }
 
 double pgsd::geometricMean(const std::vector<double> &Values) {
-  if (Values.empty())
-    return 0.0;
+  // Non-positive or non-finite entries have no logarithm and previously
+  // hit only a debug assert -- compiled out under NDEBUG, a zero ratio
+  // from a sub-resolution timing silently turned a whole release-mode
+  // summary into -inf/NaN. Guard explicitly: such entries are skipped
+  // (with no valid entries at all, the result is 0), so one degenerate
+  // measurement cannot poison a report row.
   double LogSum = 0.0;
+  size_t Valid = 0;
   for (double V : Values) {
-    assert(V > 0.0 && "geometric mean requires positive values");
+    if (!(V > 0.0) || !std::isfinite(V))
+      continue;
     LogSum += std::log(V);
+    ++Valid;
   }
-  return std::exp(LogSum / static_cast<double>(Values.size()));
+  if (Valid == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(Valid));
 }
 
 double pgsd::median(std::vector<double> Values) {

@@ -23,7 +23,11 @@ namespace pgsd {
 /// Arithmetic mean of \p Values; 0 for an empty input.
 double mean(const std::vector<double> &Values);
 
-/// Geometric mean of \p Values; all entries must be positive.
+/// Geometric mean of the positive, finite entries of \p Values; 0 when
+/// no entry qualifies (including the empty input). Non-positive and
+/// non-finite entries are skipped rather than asserted on: a zero
+/// slowdown ratio from a sub-resolution timing must degrade one sample,
+/// not turn a release-mode summary into -inf/NaN.
 /// Figure 4's summary column is the geometric mean of per-benchmark
 /// slowdown *ratios* (1 + overhead), converted back to a percentage by the
 /// caller.

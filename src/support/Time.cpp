@@ -1,0 +1,78 @@
+//===-- support/Time.cpp - Monotonic wall and CPU clocks ------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Time.h"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <time.h>
+#define PGSD_HAVE_POSIX_CLOCKS 1
+#else
+#include <ctime>
+#define PGSD_HAVE_POSIX_CLOCKS 0
+#endif
+
+using namespace pgsd;
+
+double support::monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if PGSD_HAVE_POSIX_CLOCKS
+
+namespace {
+double clockSeconds(clockid_t Id) {
+  struct timespec TS;
+  if (clock_gettime(Id, &TS) != 0)
+    return -1.0;
+  return static_cast<double>(TS.tv_sec) +
+         static_cast<double>(TS.tv_nsec) * 1e-9;
+}
+} // namespace
+
+double support::processCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  double S = clockSeconds(CLOCK_PROCESS_CPUTIME_ID);
+  if (S >= 0.0)
+    return S;
+#endif
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) == 0)
+    return static_cast<double>(RU.ru_utime.tv_sec + RU.ru_stime.tv_sec) +
+           static_cast<double>(RU.ru_utime.tv_usec +
+                               RU.ru_stime.tv_usec) *
+               1e-6;
+  return 0.0;
+}
+
+double support::threadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  double S = clockSeconds(CLOCK_THREAD_CPUTIME_ID);
+  if (S >= 0.0)
+    return S;
+#endif
+  return processCpuSeconds();
+}
+
+#else // !PGSD_HAVE_POSIX_CLOCKS
+
+double support::processCpuSeconds() {
+  // Last-resort fallback: std::clock() can wrap on 32-bit clock_t, but
+  // non-POSIX hosts get at least a best-effort value. The unsigned cast
+  // keeps a single wrap from going negative.
+  return static_cast<double>(
+             static_cast<unsigned long long>(std::clock())) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+double support::threadCpuSeconds() { return processCpuSeconds(); }
+
+#endif

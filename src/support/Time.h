@@ -1,0 +1,49 @@
+//===-- support/Time.h - Monotonic wall and CPU clocks ----------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing sources shared by the telemetry spans (obs/Metrics.h) and the
+/// batch throughput accounting (driver/Batch.cpp).
+///
+/// CPU time deliberately does *not* come from std::clock(): clock_t is
+/// 32 bits wide on several ABIs and, at CLOCKS_PER_SEC = 1e6, wraps
+/// after ~36 minutes of process CPU time -- long stress sweeps would
+/// report negative or garbage CpuSeconds. These helpers use the POSIX
+/// per-process / per-thread CPU clocks, which are 64-bit nanosecond
+/// counters and monotonic for the life of the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SUPPORT_TIME_H
+#define PGSD_SUPPORT_TIME_H
+
+namespace pgsd {
+namespace support {
+
+/// Monotonic wall-clock seconds since an arbitrary epoch
+/// (std::chrono::steady_clock behind a double-returning facade).
+double monotonicSeconds();
+
+/// CPU seconds consumed by the whole process, monotonic and wrap-free
+/// (CLOCK_PROCESS_CPUTIME_ID; getrusage user+system as fallback).
+double processCpuSeconds();
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID;
+/// falls back to processCpuSeconds() where unavailable).
+double threadCpuSeconds();
+
+/// Seconds elapsed from \p Start to \p End on the same clock, clamped to
+/// zero: timing deltas must never go negative into a report, even if a
+/// clock source misbehaves.
+inline double elapsedSeconds(double Start, double End) {
+  return End > Start ? End - Start : 0.0;
+}
+
+} // namespace support
+} // namespace pgsd
+
+#endif // PGSD_SUPPORT_TIME_H

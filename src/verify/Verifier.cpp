@@ -9,6 +9,7 @@
 
 #include "mexec/Interp.h"
 #include "mexec/Precompiled.h"
+#include "obs/Metrics.h"
 #include "support/Rng.h"
 #include "verify/BaselineCache.h"
 #include "x86/Decoder.h"
@@ -360,12 +361,21 @@ Report verify::verifyVariant(const MModule &Baseline,
     R.add(ErrorCode::MIRInvalid, Problem);
     return R; // Executing an invalid module would assert.
   }
-  if (Opts.CheckStructure)
+  if (Opts.CheckStructure) {
+    obs::Span S("verify.structure");
     diffStructure(Baseline, Variant, R);
-  if (Opts.CheckProfile)
+  }
+  if (Opts.CheckProfile) {
+    obs::Span S("verify.profile");
     checkProfileFlow(Variant, R);
-  if (Opts.CheckImage)
+  }
+  if (Opts.CheckImage) {
+    obs::Span S("verify.image");
     checkImage(Variant, Image, Opts.Link, R);
-  diffExecute(Baseline, Variant, Opts, R);
+  }
+  {
+    obs::Span S("verify.diff_execute");
+    diffExecute(Baseline, Variant, Opts, R);
+  }
   return R;
 }

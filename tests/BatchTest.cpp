@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Batch.h"
+#include "obs/Metrics.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
@@ -126,6 +127,62 @@ TEST(Batch, CountersAccountForEverySeed) {
   // most once; with 8 seeds sharing one cache, most requests must hit.
   EXPECT_LE(R.BaselineCacheFills, verify::defaultInputBattery().size());
   EXPECT_GT(R.BaselineCacheHits, R.BaselineCacheFills);
+}
+
+TEST(Batch, MetricsAgreeWithBatchResultCounters) {
+  driver::Program P = driver::compileProgram(
+      "fn main() { var s = 0; var i = 0; while (i < 25) { s = s + i; "
+      "i = i + 1; } print_int(s); return 0; }",
+      "metrics-parity");
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  obs::Registry::global().reset();
+  obs::setEnabled(true);
+  std::vector<uint64_t> Seeds = {21, 22, 23, 24, 25, 26};
+  driver::BatchOptions B;
+  B.Jobs = 4;
+  driver::BatchResult R = driver::makeVariantsBatch(
+      P, diversity::DiversityOptions::uniform(0.5), Seeds, B);
+  obs::LocalMetrics Snap = obs::Registry::global().snapshot();
+  obs::setEnabled(false);
+  obs::Registry::global().reset();
+
+  // The exported counters must equal the BatchResult bookkeeping
+  // exactly -- they are two views of the same run.
+  EXPECT_EQ(Snap.Counters.at("batch.seeds"), Seeds.size());
+  EXPECT_EQ(Snap.Counters.at("batch.accepted"), R.Accepted);
+  EXPECT_EQ(Snap.Counters.at("batch.rejected"), R.Rejected);
+  EXPECT_EQ(Snap.Counters.at("batch.retried"), R.Retried);
+  EXPECT_EQ(Snap.Counters.at("batch.attempts_total"), R.TotalAttempts);
+  EXPECT_EQ(Snap.Counters.at("verify.baseline_cache.hits"),
+            R.BaselineCacheHits);
+  EXPECT_EQ(Snap.Counters.at("verify.baseline_cache.fills"),
+            R.BaselineCacheFills);
+  EXPECT_EQ(Snap.Counters.at("verify.attempts"), R.TotalAttempts);
+  EXPECT_DOUBLE_EQ(Snap.Gauges.at("batch.jobs"), 4.0);
+  EXPECT_DOUBLE_EQ(Snap.Gauges.at("batch.wall_seconds"), R.WallSeconds);
+
+  // Every seed ran under a span, and the worker-side pipeline phases
+  // were merged in (one diversify + one emit per attempt at minimum).
+  EXPECT_EQ(Snap.Phases.at("batch.seed").Count, Seeds.size());
+  EXPECT_GE(Snap.Phases.at("pipeline.diversify").Count, Seeds.size());
+  EXPECT_EQ(Snap.Phases.at("batch.setup").Count, 1u);
+  EXPECT_EQ(Snap.Phases.at("batch.fanout").Count, 1u);
+
+  // Coordinator phases partition the measured window: setup + fanout
+  // must reproduce WallSeconds to within scheduling noise (10%).
+  double PhaseSum = Snap.Phases.at("batch.setup").WallSeconds +
+                    Snap.Phases.at("batch.fanout").WallSeconds;
+  EXPECT_NEAR(PhaseSum, R.WallSeconds,
+              0.10 * R.WallSeconds + 1e-4);
+
+  // Determinism guard: the same seeds with telemetry off must produce
+  // byte-identical images (telemetry never touches variant bits).
+  driver::BatchResult Quiet = driver::makeVariantsBatch(
+      P, diversity::DiversityOptions::uniform(0.5), Seeds, B);
+  for (size_t I = 0; I != Seeds.size(); ++I)
+    EXPECT_EQ(R.Variants[I].V.Image.Text, Quiet.Variants[I].V.Image.Text)
+        << "telemetry changed variant bits at seed index " << I;
 }
 
 TEST(Batch, DefaultJobCountUsesHardwareConcurrency) {

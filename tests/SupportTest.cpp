@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -222,6 +223,23 @@ TEST(Statistics, GeometricMean) {
   // Geomean of slowdown ratios is below the arithmetic mean.
   std::vector<double> Ratios = {1.01, 1.25, 1.08};
   EXPECT_LT(geometricMean(Ratios), mean(Ratios));
+}
+
+TEST(Statistics, GeometricMeanSkipsNonPositiveAndNonFinite) {
+  // Regression: the old implementation guarded V > 0 only with assert(),
+  // so a release build fed a zero ratio (a sub-resolution timing)
+  // computed log(0) and returned exp(-inf) = 0 -- or NaN with a negative
+  // entry -- silently corrupting the whole summary. Bad samples must be
+  // skipped, degrading one entry, not the aggregate.
+  EXPECT_NEAR(geometricMean({4.0, 0.0, 9.0}), 6.0, 1e-12);
+  EXPECT_NEAR(geometricMean({4.0, -2.0, 9.0}), 6.0, 1e-12);
+  double Inf = std::numeric_limits<double>::infinity();
+  double NaN = std::nan("");
+  EXPECT_NEAR(geometricMean({4.0, Inf, 9.0}), 6.0, 1e-12);
+  EXPECT_NEAR(geometricMean({4.0, NaN, 9.0}), 6.0, 1e-12);
+  // No entry qualifies: documented 0 return, never -inf/NaN.
+  EXPECT_DOUBLE_EQ(geometricMean({0.0, -1.0}), 0.0);
+  EXPECT_TRUE(std::isfinite(geometricMean({0.0, Inf, NaN})));
 }
 
 TEST(Statistics, Median) {

@@ -1,0 +1,133 @@
+//===-- tools/metrics_check.cpp - Validate exported metrics JSON -----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Standalone validator for pgsd-metrics-v1 files:
+//
+//   metrics_check metrics.json [--batch]
+//
+// Checks, in order:
+//  1. The file is syntactically valid JSON (obs::validateJson, the same
+//     RFC 8259 scanner ObsTest pins).
+//  2. The schema marker and the four required top-level sections are
+//     present.
+//  3. With --batch (the file came from `pgsdc batch --metrics`): the
+//     coordinator phases batch.setup + batch.fanout partition the batch
+//     window, so their wall sum must land within 10% of the
+//     batch.wall_seconds gauge, and the verify counters must be present.
+//
+// Exit 0 on success, 1 with a diagnostic on the first failed check.
+// Key lookups scan for the literal `"<key>": ` the deterministic obs
+// exporter emits (sorted keys, fixed spacing), which keeps this tool
+// dependency-free; the full-document validation in step 1 guarantees the
+// scan operates on well-formed JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace pgsd;
+
+namespace {
+
+int fail(const std::string &Msg) {
+  std::fprintf(stderr, "metrics_check: %s\n", Msg.c_str());
+  return 1;
+}
+
+/// Finds the numeric value following `"<key>": ` anywhere in \p Text.
+/// Returns false when the key is absent.
+bool findNumber(const std::string &Text, const std::string &Key,
+                double &Out) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t Pos = Text.find(Needle);
+  if (Pos == std::string::npos)
+    return false;
+  Out = std::strtod(Text.c_str() + Pos + Needle.size(), nullptr);
+  return true;
+}
+
+bool hasKey(const std::string &Text, const std::string &Key) {
+  return Text.find("\"" + Key + "\"") != std::string::npos;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch]\n");
+    return 1;
+  }
+  bool Batch = Argc > 2 && std::strcmp(Argv[2], "--batch") == 0;
+
+  std::ifstream In(Argv[1], std::ios::binary);
+  if (!In)
+    return fail(std::string("cannot read '") + Argv[1] + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+
+  std::string Error;
+  if (!obs::validateJson(Text, &Error))
+    return fail("invalid JSON: " + Error);
+
+  if (!hasKey(Text, "pgsd-metrics-v1"))
+    return fail("missing schema marker \"pgsd-metrics-v1\"");
+  for (const char *Section :
+       {"counters", "gauges", "phases", "histograms"})
+    if (!hasKey(Text, Section))
+      return fail(std::string("missing required section \"") + Section +
+                  "\"");
+
+  if (Batch) {
+    for (const char *Key :
+         {"batch.seeds", "batch.accepted", "batch.attempts_total",
+          "verify.baseline_cache.hits", "verify.baseline_cache.fills",
+          "batch.setup", "batch.fanout"})
+      if (!hasKey(Text, Key))
+        return fail(std::string("batch metrics missing \"") + Key + "\"");
+
+    // The batch wall clock starts after Sinks allocation and stops
+    // before finalize, and setup/fanout are the only phases the
+    // coordinator thread times in between, so their sum must reproduce
+    // the batch.wall_seconds gauge to within scheduling noise (10%).
+    double Wall = 0.0;
+    if (!findNumber(Text, "batch.wall_seconds", Wall))
+      return fail("batch metrics missing \"batch.wall_seconds\"");
+    // Phases serialize as {"count": N, "wall_s": W, ...}; the first
+    // wall_s after each phase key is that phase's wall time.
+    auto PhaseWall = [&](const char *Name, double &Out) {
+      size_t Pos = Text.find(std::string("\"") + Name + "\"");
+      if (Pos == std::string::npos)
+        return false;
+      std::string Tail = Text.substr(Pos);
+      return findNumber(Tail, "wall_s", Out);
+    };
+    double Setup = 0.0, Fanout = 0.0;
+    if (!PhaseWall("batch.setup", Setup) ||
+        !PhaseWall("batch.fanout", Fanout))
+      return fail("cannot read batch.setup/batch.fanout wall times");
+    double Sum = Setup + Fanout;
+    double Slack = 0.10 * Wall + 1e-4; // floor for sub-ms batches
+    if (Sum < Wall - Slack || Sum > Wall + Slack) {
+      std::fprintf(stderr,
+                   "metrics_check: phase sum %.6fs (setup %.6fs + fanout "
+                   "%.6fs) disagrees with batch.wall_seconds %.6fs by "
+                   "more than 10%%\n",
+                   Sum, Setup, Fanout, Wall);
+      return 1;
+    }
+  }
+
+  std::printf("metrics_check: %s OK%s\n", Argv[1],
+              Batch ? " (batch invariants hold)" : "");
+  return 0;
+}

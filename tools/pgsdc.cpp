@@ -33,7 +33,10 @@
 #include "workloads/Workloads.h"
 #include "gadget/Attack.h"
 #include "gadget/Scanner.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 #include "profile/Profile.h"
+#include "support/TablePrinter.h"
 #include "verify/Verifier.h"
 #include "x86/Disasm.h"
 
@@ -100,6 +103,10 @@ int usage() {
                "  --seeds N           batch size: seeds BASE..BASE+N-1\n"
                "  --jobs J            worker threads (default: all cores)\n"
                "  --out-dir DIR       write each variant's .text (batch)\n"
+               "  --metrics FILE      enable pipeline telemetry and write\n"
+               "                      metrics JSON (run/verify/analyze/\n"
+               "                      batch; batch also prints a stage\n"
+               "                      breakdown table)\n"
                "  --no-opt            disable the -O2 pipeline\n"
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
@@ -151,6 +158,7 @@ struct Options {
   unsigned Seeds = 8;      ///< Batch size (batch command).
   unsigned Jobs = 0;       ///< Worker threads; 0 means all cores.
   std::string OutDir;      ///< Where batch writes variant images.
+  std::string MetricsFile; ///< Enable telemetry, write JSON here.
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -249,6 +257,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.OutDir = V;
+    } else if (Arg == "--metrics") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.MetricsFile = V;
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -457,6 +470,30 @@ int cmdVerify(const Options &Opts) {
   return ExitOK;
 }
 
+/// Prints the per-phase timing breakdown accumulated by this process as
+/// an aligned table. Worker-side phases (pipeline.*, verify.*) sum wall
+/// time across threads, so their total can exceed elapsed wall clock;
+/// the coordinator phases batch.setup + batch.fanout partition the
+/// measured batch window.
+void printPhaseTable(std::FILE *Out) {
+  obs::LocalMetrics Snap = obs::Registry::global().snapshot();
+  if (Snap.Phases.empty())
+    return;
+  double TotalWall = 0.0;
+  for (const auto &[Name, S] : Snap.Phases)
+    TotalWall += S.WallSeconds;
+  TablePrinter T;
+  T.addRow({"phase", "count", "wall (s)", "cpu (s)", "wall %"});
+  for (const auto &[Name, S] : Snap.Phases)
+    T.addRow({Name, formatCount(S.Count), formatDouble(S.WallSeconds, 4),
+              formatDouble(S.CpuSeconds, 4),
+              formatPercent(TotalWall > 0
+                                ? 100.0 * S.WallSeconds / TotalWall
+                                : 0.0)});
+  std::fprintf(Out, "\nphase breakdown (wall summed per thread):\n");
+  T.print(Out);
+}
+
 int cmdBatch(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
@@ -521,6 +558,8 @@ int cmdBatch(const Options &Opts) {
   std::printf("baseline cache: %llu fills, %llu hits\n",
               static_cast<unsigned long long>(R.BaselineCacheFills),
               static_cast<unsigned long long>(R.BaselineCacheHits));
+  if (obs::enabled())
+    printPhaseTable(stdout);
   if (!R.allAccepted()) {
     std::fprintf(stderr,
                  "pgsdc: %llu seed(s) fell back to the baseline image\n",
@@ -679,12 +718,7 @@ int cmdDisasm(const Options &Opts) {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  Options Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return usage();
+int dispatch(const Options &Opts) {
   if (Opts.Command == "run")
     return cmdRun(Opts);
   if (Opts.Command == "profile")
@@ -704,4 +738,29 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr, "pgsdc: unknown command '%s'\n",
                Opts.Command.c_str());
   return usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+  if (!Opts.MetricsFile.empty())
+    obs::setEnabled(true);
+  int Code = dispatch(Opts);
+  if (!Opts.MetricsFile.empty()) {
+    // Export even when the command failed: a rejected batch's metrics
+    // are exactly what the user wants to inspect.
+    if (!obs::writeMetricsJson(Opts.MetricsFile)) {
+      std::fprintf(stderr, "pgsdc: cannot write metrics '%s'\n",
+                   Opts.MetricsFile.c_str());
+      if (Code == ExitOK)
+        Code = ExitFileIO;
+    } else {
+      std::fprintf(stderr, "metrics written to %s\n",
+                   Opts.MetricsFile.c_str());
+    }
+  }
+  return Code;
 }
