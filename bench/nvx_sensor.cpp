@@ -1,0 +1,332 @@
+//===-- bench/nvx_sensor.cpp - Divergence as a fault sensor -----------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The headline N-variant experiment: faults that a *single* variant
+// executes silently are caught by cross-variant divergence. For every
+// MIR-level fault class (analysis/MirFault.h), seeded corruptions are
+// injected into one replica of a K=3 majority-vote lockstep session --
+// through the post-verification tamper seam, i.e. exactly the window a
+// memory-corruption attack or bitflip would hit -- and detection is
+// compared against the only signal a lone variant has: trapping.
+//
+// Each injected run is pre-screened standalone:
+//  * a corruption that no longer passes mir::verify is unrunnable -- the
+//    nvx loader rejects it (counted as a load-time detection);
+//  * a runnable corruption whose behaviour signature matches the
+//    pristine replica on every battery input is dynamically inert here
+//    (the image-level FaultInjector classes are in the same boat: mexec
+//    executes MIR, not image bytes). Inert runs are excluded from the
+//    detection denominator and reported separately -- catching them is
+//    the static analyzer's job (analysis/Analysis.h), not the sensor's.
+//
+// For active runs the sensor is deterministic: a replica whose signature
+// differs from its pristine self must lose the vote against replicas
+// that preserve baseline behaviour. The bench asserts >= 90% detection
+// over active + load-rejected runs and that at least one
+// workload/class cell combines 0% single-variant (trap) detection with
+// full divergence detection (per cell, because a class fully silent on
+// one workload may trap occasionally on another).
+//
+// Also records overhead-vs-K: lockstep wall/CPU per round for K in
+// {1,2,3,5} on one representative workload, against the K=1 floor.
+//
+// Output: BENCH_nvx.json (or argv[1]); PGSD_QUICK=1 shrinks the sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MirFault.h"
+#include "bench/BenchCommon.h"
+#include "mexec/Precompiled.h"
+#include "nvx/Nvx.h"
+#include "obs/Json.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+
+namespace {
+
+struct ClassStats {
+  uint64_t Injections = 0;   ///< Eligible injection sites found.
+  uint64_t LoadRejected = 0; ///< Failed mir::verify; rejected at load.
+  uint64_t Active = 0;       ///< Runnable, behaviour differs on battery.
+  uint64_t Inert = 0;        ///< Runnable, battery-indistinguishable.
+  uint64_t SingleDetected = 0; ///< Active runs trapping standalone.
+  uint64_t NvxDetected = 0;    ///< Active runs flagged by divergence.
+  /// Some workload where every active corruption of this class ran
+  /// silently in a single variant yet divergence caught all of them --
+  /// the per-cell form of the headline claim (aggregating across
+  /// workloads can hide it: a class fully silent on one workload may
+  /// trap occasionally on another).
+  bool HasSilentCell = false;
+};
+
+struct OverheadRow {
+  unsigned K = 0;
+  uint64_t Rounds = 0;
+  double WallSeconds = 0.0;
+  double CpuSeconds = 0.0;
+};
+
+mexec::RunOptions runOptions(const std::vector<int32_t> &Input) {
+  mexec::RunOptions RO;
+  RO.Input = Input;
+  RO.MaxSteps = 200'000'000;
+  RO.CollectOutput = true;
+  return RO;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_nvx.json";
+  bool Quick = [] {
+    const char *Q = std::getenv("PGSD_QUICK");
+    return Q && Q[0] == '1';
+  }();
+  const unsigned SeedsPerClass = Quick ? 3 : 8;
+  const size_t NumWorkloads = Quick ? 2 : 4;
+  const unsigned K = 3;
+
+  const std::vector<workloads::Workload> &Suite = workloads::specSuite();
+  std::vector<ClassStats> Stats(analysis::NumMirFaultClasses);
+
+  auto Diversity = diversity::DiversityOptions::profiled(
+      diversity::ProbabilityModel::Log, 0.0, 0.3);
+
+  std::vector<OverheadRow> Overhead;
+
+  for (size_t WI = 0; WI != std::min(NumWorkloads, Suite.size()); ++WI) {
+    const workloads::Workload &W = Suite[WI];
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.ok() || !driver::profileAndStamp(P, W.TrainInput)) {
+      std::fprintf(stderr, "nvx_sensor: %s failed to prepare\n",
+                   W.Name.c_str());
+      return 1;
+    }
+    std::vector<std::vector<int32_t>> Battery = {W.TrainInput,
+                                                 W.RefInput};
+
+    nvx::NvxOptions Base;
+    Base.Replicas = K;
+    Base.Policy = nvx::VotePolicy::Majority;
+    Base.Diversity = Diversity;
+    // One bounded battery input for spawn verification keeps the sweep
+    // dominated by the sensor under test, not by re-verification.
+    Base.Verify.InputBattery = {W.TrainInput};
+    Base.EjectAfter = 1; // Eject on first lost vote: exercises respawn.
+
+    for (unsigned CI = 0; CI != analysis::NumMirFaultClasses; ++CI) {
+      auto Class = static_cast<analysis::MirFaultClass>(CI);
+      uint64_t CellActive = 0, CellSingle = 0, CellNvx = 0;
+      for (unsigned SI = 0; SI != SeedsPerClass; ++SI) {
+        uint64_t FaultSeed = 0xfa017ull + WI * 1000 + CI * 100 + SI;
+
+        // The seam fires once per spawned replica; corrupt replica 0
+        // and stash pristine/corrupted copies for the pre-screen.
+        mir::MModule Pristine, Corrupted;
+        bool Injected = false;
+        nvx::NvxOptions N = Base;
+        N.BaseSeed = 1 + WI * 10000 + CI * 1000 + SI * 10;
+        N.TamperReplica = [&](unsigned Replica, mir::MModule &M) {
+          if (Replica != 0)
+            return;
+          Pristine = M;
+          Injected = analysis::injectMirFault(M, Class, FaultSeed);
+          if (Injected)
+            Corrupted = M;
+        };
+        nvx::NvxResult Session = nvx::runLockstep(P, Battery, N);
+
+        ClassStats &CS = Stats[CI];
+        if (!Injected)
+          continue; // No eligible site; nothing was tested.
+        ++CS.Injections;
+
+        if (!mir::verify(Corrupted).empty()) {
+          // Unrunnable: both engines (and the nvx loader) refuse it.
+          ++CS.LoadRejected;
+          if (Session.LoadRejections == 0) {
+            std::fprintf(stderr,
+                         "nvx_sensor: %s/%s: unrunnable corruption not "
+                         "rejected at load\n",
+                         W.Name.c_str(),
+                         analysis::mirFaultClassName(Class));
+            return 1;
+          }
+          continue;
+        }
+
+        // Standalone pre-screen: does the corruption change behaviour
+        // on this battery at all, and does it *trap* (the only signal
+        // a single deployed variant gives)?
+        mexec::Precompiled PristineEng(Pristine);
+        mexec::Precompiled CorruptedEng(Corrupted);
+        bool ActiveHere = false, TrapsAnew = false;
+        for (const std::vector<int32_t> &Input : Battery) {
+          mexec::RunOptions RO = runOptions(Input);
+          mexec::RunResult A = PristineEng.run(RO);
+          mexec::RunResult B = CorruptedEng.run(RO);
+          if (!(nvx::signatureOf(A) == nvx::signatureOf(B)))
+            ActiveHere = true;
+          if (B.Trapped && !A.Trapped)
+            TrapsAnew = true;
+        }
+        if (!ActiveHere) {
+          ++CS.Inert;
+          continue;
+        }
+        ++CS.Active;
+        ++CellActive;
+        if (TrapsAnew) {
+          ++CS.SingleDetected;
+          ++CellSingle;
+        }
+        if (Session.divergenceDetected()) {
+          ++CS.NvxDetected;
+          ++CellNvx;
+        }
+      }
+      if (CellActive > 0 && CellSingle == 0 && CellNvx == CellActive)
+        Stats[CI].HasSilentCell = true;
+    }
+
+    // Overhead-vs-K on the first workload only (rates above already
+    // cover every workload).
+    if (WI == 0) {
+      for (unsigned KN : {1u, 2u, 3u, 5u}) {
+        nvx::NvxOptions N = Base;
+        N.Replicas = KN;
+        N.BaseSeed = 0x0e0e;
+        nvx::NvxResult S = nvx::runLockstep(P, Battery, N);
+        OverheadRow Row;
+        Row.K = KN;
+        Row.Rounds = S.Rounds;
+        Row.WallSeconds = S.LockstepWallSeconds;
+        Row.CpuSeconds = S.LockstepCpuSeconds;
+        Overhead.push_back(Row);
+      }
+    }
+  }
+
+  // --- Report. ---
+  uint64_t Denominator = 0, Detected = 0;
+  bool HaveSilentClass = false;
+  std::printf("%-20s %10s %6s %6s %6s %12s %10s\n", "class", "injected",
+              "load", "inert", "active", "single-rate", "nvx-rate");
+  for (unsigned CI = 0; CI != analysis::NumMirFaultClasses; ++CI) {
+    const ClassStats &CS = Stats[CI];
+    Denominator += CS.Active + CS.LoadRejected;
+    Detected += CS.NvxDetected + CS.LoadRejected;
+    double SingleRate =
+        CS.Active ? static_cast<double>(CS.SingleDetected) / CS.Active
+                  : 0.0;
+    double NvxRate =
+        CS.Active ? static_cast<double>(CS.NvxDetected) / CS.Active : 0.0;
+    if (CS.HasSilentCell)
+      HaveSilentClass = true;
+    std::printf("%-20s %10llu %6llu %6llu %6llu %11.0f%% %9.0f%%\n",
+                analysis::mirFaultClassName(
+                    static_cast<analysis::MirFaultClass>(CI)),
+                static_cast<unsigned long long>(CS.Injections),
+                static_cast<unsigned long long>(CS.LoadRejected),
+                static_cast<unsigned long long>(CS.Inert),
+                static_cast<unsigned long long>(CS.Active),
+                100.0 * SingleRate, 100.0 * NvxRate);
+  }
+  double Rate = Denominator
+                    ? static_cast<double>(Detected) / Denominator
+                    : 0.0;
+  std::printf("aggregate: %llu/%llu detected (%.1f%%) over active + "
+              "load-rejected runs at K=%u majority\n",
+              static_cast<unsigned long long>(Detected),
+              static_cast<unsigned long long>(Denominator), 100.0 * Rate,
+              K);
+  for (const OverheadRow &Row : Overhead)
+    std::printf("overhead: K=%u: %.4fs wall, %.4fs cpu over %llu "
+                "rounds (%.2fx wall vs K=1)\n",
+                Row.K, Row.WallSeconds, Row.CpuSeconds,
+                static_cast<unsigned long long>(Row.Rounds),
+                Overhead[0].WallSeconds > 0
+                    ? Row.WallSeconds / Overhead[0].WallSeconds
+                    : 0.0);
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"replicas\": " + obs::jsonUInt(K) + ",\n";
+  Json += "  \"policy\": \"majority\",\n";
+  Json += "  \"seeds_per_class\": " + obs::jsonUInt(SeedsPerClass) + ",\n";
+  Json += "  \"workloads\": " +
+          obs::jsonUInt(std::min(NumWorkloads, Suite.size())) + ",\n";
+  Json += "  \"per_class\": [\n";
+  for (unsigned CI = 0; CI != analysis::NumMirFaultClasses; ++CI) {
+    const ClassStats &CS = Stats[CI];
+    double SingleRate =
+        CS.Active ? static_cast<double>(CS.SingleDetected) / CS.Active
+                  : 0.0;
+    double NvxRate =
+        CS.Active ? static_cast<double>(CS.NvxDetected) / CS.Active : 0.0;
+    Json += "    {\"class\": " +
+            obs::jsonString(analysis::mirFaultClassName(
+                static_cast<analysis::MirFaultClass>(CI))) +
+            ", \"injections\": " + obs::jsonUInt(CS.Injections) +
+            ", \"load_rejected\": " + obs::jsonUInt(CS.LoadRejected) +
+            ", \"inert\": " + obs::jsonUInt(CS.Inert) +
+            ", \"active\": " + obs::jsonUInt(CS.Active) +
+            ", \"single_variant_rate\": " + obs::jsonNumber(SingleRate, 4) +
+            ", \"nvx_divergence_rate\": " + obs::jsonNumber(NvxRate, 4) +
+            ", \"silent_cell\": " + (CS.HasSilentCell ? "true" : "false") +
+            "}" +
+            (CI + 1 == analysis::NumMirFaultClasses ? "\n" : ",\n");
+  }
+  Json += "  ],\n";
+  Json += "  \"aggregate\": {\"denominator\": " + obs::jsonUInt(Denominator) +
+          ", \"detected\": " + obs::jsonUInt(Detected) +
+          ", \"rate\": " + obs::jsonNumber(Rate, 4) + "},\n";
+  Json += "  \"overhead_vs_k\": [\n";
+  for (size_t I = 0; I != Overhead.size(); ++I) {
+    const OverheadRow &Row = Overhead[I];
+    Json += "    {\"k\": " + obs::jsonUInt(Row.K) +
+            ", \"rounds\": " + obs::jsonUInt(Row.Rounds) +
+            ", \"lockstep_wall_s\": " + obs::jsonNumber(Row.WallSeconds, 5) +
+            ", \"lockstep_cpu_s\": " + obs::jsonNumber(Row.CpuSeconds, 5) +
+            ", \"relative_wall\": " +
+            obs::jsonNumber(Overhead[0].WallSeconds > 0
+                                ? Row.WallSeconds / Overhead[0].WallSeconds
+                                : 0.0,
+                            3) +
+            "}" + (I + 1 == Overhead.size() ? "\n" : ",\n");
+  }
+  Json += "  ]\n}\n";
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "nvx_sensor: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fputs(Json.c_str(), Out);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+
+  if (Rate < 0.90) {
+    std::fprintf(stderr,
+                 "nvx_sensor: detection rate %.1f%% below the 90%% "
+                 "acceptance floor\n",
+                 100.0 * Rate);
+    return 1;
+  }
+  if (!HaveSilentClass) {
+    std::fprintf(stderr,
+                 "nvx_sensor: no workload/class cell combined 0%% "
+                 "single-variant detection with full divergence "
+                 "detection\n");
+    return 1;
+  }
+  return 0;
+}

@@ -73,7 +73,20 @@ BatchResult driver::makeVariantsBatch(const Program &P,
         // point that publishes every slot to this thread.
         Pool.enqueue([&RunOne, I] { RunOne(I); });
       }
-      Pool.wait();
+      try {
+        Pool.wait();
+      } catch (...) {
+        // The first worker exception propagates to the caller exactly
+        // like a serial loop's would; any *further* concurrent failures
+        // were suppressed by the pool and the BatchResult that would
+        // have carried their count is about to be abandoned -- export
+        // the count so they leave a trace.
+        if (Obs)
+          obs::counterAdd("batch.suppressed_exceptions",
+                          Pool.suppressedExceptions());
+        throw;
+      }
+      R.SuppressedExceptions = Pool.suppressedExceptions();
     }
   }
 
@@ -111,6 +124,7 @@ BatchResult driver::makeVariantsBatch(const Program &P,
     obs::counterAdd("batch.rejected", R.Rejected);
     obs::counterAdd("batch.retried", R.Retried);
     obs::counterAdd("batch.attempts_total", R.TotalAttempts);
+    obs::counterAdd("batch.suppressed_exceptions", R.SuppressedExceptions);
     obs::counterAdd("verify.baseline_cache.hits", R.BaselineCacheHits);
     obs::counterAdd("verify.baseline_cache.fills", R.BaselineCacheFills);
     obs::gaugeSet("batch.jobs", R.Jobs);

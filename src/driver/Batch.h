@@ -69,6 +69,12 @@ struct BatchResult {
   /// variant attempt.
   uint64_t BaselineCacheHits = 0;
   uint64_t BaselineCacheFills = 0;
+  /// Worker exceptions the pool dropped because another task's exception
+  /// was already pending rethrow: wait() surfaces only the first, so a
+  /// nonzero count here is the only trace that *more than one* seed's
+  /// pipeline blew up concurrently. Always 0 on the Jobs == 1 inline
+  /// path (no pool, every exception propagates directly).
+  uint64_t SuppressedExceptions = 0;
   double WallSeconds = 0.0;    ///< Wall-clock time of the batch.
   double CpuSeconds = 0.0;     ///< Process CPU time of the batch.
 

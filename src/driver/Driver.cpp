@@ -130,9 +130,14 @@ driver::makeVariantVerified(const Program &P,
   std::optional<verify::BaselineCache> LocalCache;
   if (!Effective.Cache)
     Effective.Cache = &LocalCache.emplace(P.MIR, Effective);
-  unsigned Budget = VOpts.MaxAttempts == 0 ? 1 : VOpts.MaxAttempts;
-  for (unsigned Attempt = 0; Attempt != Budget; ++Attempt) {
-    uint64_t S = verify::deriveRetrySeed(Seed, Attempt);
+  // One schedule object walks the attempt seeds; with the default
+  // SeedStride of 0 this reproduces the historical
+  // deriveRetrySeed(Seed, Attempt) sequence exactly.
+  verify::RetrySchedule Schedule(Seed, VOpts.MaxAttempts,
+                                 VOpts.SeedStride);
+  while (!Schedule.exhausted()) {
+    unsigned Attempt = Schedule.attemptsMade();
+    uint64_t S = Schedule.next();
     Variant V = makeVariant(P, Opts, S, Link);
     if (Effective.InjectFault)
       Effective.InjectFault(V.MIR, V.Image, S);
@@ -177,7 +182,7 @@ driver::makeVariantVerified(const Program &P,
   Out.V.Image = linkBaseline(P, Link);
   Out.V.Stats = diversity::InsertionStats();
   Out.Report.add(verify::ErrorCode::RetriesExhausted,
-                 "all " + std::to_string(Budget) +
+                 "all " + std::to_string(Schedule.budget()) +
                      " attempts failed verification; emitting "
                      "undiversified baseline image");
   return Out;

@@ -467,6 +467,15 @@ RunResult Machine::run() {
       trap(TrapKind::StepBudget, "instruction budget exceeded");
       break;
     }
+    // Cooperative cancellation: polled at the same counted-instruction
+    // positions as the fast engine (every CancelPollStride-th fetch),
+    // so a pre-set flag traps bit-identically on both. Like the budget
+    // trap, the fetch is counted but neither executed nor charged.
+    if ((Result.Instructions & (CancelPollStride - 1)) == 0 &&
+        Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed)) {
+      trap(TrapKind::Cancelled, "cancelled by monitor");
+      break;
+    }
     if (!step(I, F))
       break;
   }
@@ -491,6 +500,8 @@ const char *mexec::trapKindName(TrapKind Kind) {
     return "stack-overflow";
   case TrapKind::BadInstruction:
     return "bad-instruction";
+  case TrapKind::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }

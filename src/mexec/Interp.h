@@ -28,6 +28,7 @@
 
 #include "lir/MIR.h"
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -83,6 +84,13 @@ inline constexpr size_t OutputCapBytes = 1u << 20;
 /// the full cap per run.
 inline constexpr size_t OutputReserveBytes = 1u << 12;
 
+/// Instruction stride at which both engines poll RunOptions::Cancel.
+/// A power of two so the poll folds into the step-budget check; 1024
+/// instructions keep the worst-case reaction latency far below any
+/// realistic lockstep timeout while costing one predictable branch per
+/// instruction when no cancel flag is installed.
+inline constexpr uint64_t CancelPollStride = 1024;
+
 /// Inputs and limits for one run.
 struct RunOptions {
   std::vector<int32_t> Input;      ///< Stream consumed by read_int().
@@ -91,6 +99,18 @@ struct RunOptions {
   bool CollectBlockCounts = false; ///< Ground-truth per-block counts.
   bool CollectOutput = false;      ///< Keep printed text (tests only).
   CostModel Costs;
+
+  /// Cooperative cancellation for external watchdogs (the N-variant
+  /// lockstep monitor arms this to enforce wall-clock timeouts). Both
+  /// engines poll the flag every CancelPollStride-th counted
+  /// instruction -- at identical points in the instruction stream, so a
+  /// flag that is already set when the run starts traps bit-identically
+  /// on either engine (EngineParityTest pins this). A flag raised
+  /// mid-run traps at the next poll point, with TrapKind::Cancelled;
+  /// *when* that poll happens is inherently wall-clock dependent, so
+  /// mid-run cancellation is the one part of a RunResult outside the
+  /// bit-identity contract. Null (the default) disables polling.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// Machine-level classification of why a run trapped. The string
@@ -104,6 +124,7 @@ enum class TrapKind : uint8_t {
   BadMemory,      ///< Load/store outside the flat memory image.
   StackOverflow,  ///< ESP pushed below codegen::StackLimit.
   BadInstruction, ///< Opcode/operand combination codegen never emits.
+  Cancelled,      ///< RunOptions::Cancel observed set at a poll point.
 };
 
 /// Returns a stable lowercase name ("step-budget", "bad-memory", ...).

@@ -469,6 +469,7 @@ RunResult Precompiled::execute(const RunOptions &Opts) const {
   const int32_t *const InputData = Opts.Input.data();
   const size_t InputSize = Opts.Input.size();
   const uint64_t MaxSteps = Opts.MaxSteps;
+  const std::atomic<bool> *const Cancel = Opts.Cancel;
   const size_t MaxDepth = Opts.MaxCallDepth;
   uint64_t *const CountsFlat = Collect ? FlatCounts.data() : nullptr;
   uint64_t *const Counters = Result.Counters.data();
@@ -549,11 +550,18 @@ RunResult Precompiled::execute(const RunOptions &Opts) const {
 
   // Count an instruction and check the budget *before* executing it,
   // exactly like the reference loop (the trapping fetch is counted but
-  // neither executed nor charged).
+  // neither executed nor charged). The cancel poll shares the check, at
+  // the same counted-instruction positions as the reference engine, so a
+  // pre-set flag traps bit-identically on either engine.
 #define PGSD_STEP()                                                          \
   do {                                                                       \
     if (++Instrs > MaxSteps) {                                               \
       trapSet(TrapKind::StepBudget, "instruction budget exceeded");          \
+      goto done;                                                             \
+    }                                                                        \
+    if ((Instrs & (CancelPollStride - 1)) == 0 && Cancel &&                  \
+        Cancel->load(std::memory_order_relaxed)) {                           \
+      trapSet(TrapKind::Cancelled, "cancelled by monitor");                  \
       goto done;                                                             \
     }                                                                        \
   } while (0)

@@ -1,0 +1,232 @@
+//===-- nvx/Nvx.h - N-variant lockstep execution -----------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// N-variant execution: the dynamic form of the paper's multi-version
+/// argument. Table 3 argues statically -- diversified variants share few
+/// gadgets, so one payload cannot cover a population. This subsystem
+/// makes the argument operational: compile once, diversify K verified
+/// replicas, run them in lockstep over an input battery, and treat
+/// *divergence* between replicas as an attack/fault sensor (in the
+/// spirit of N-variant systems and Prime). Because every variant is
+/// semantics-preserving by construction (verify/Verifier.h), any
+/// behavioural disagreement between replicas on the same input is
+/// evidence of corruption -- a fault that a single variant may well
+/// execute silently.
+///
+/// Vote semantics: each replica's RunResult is reduced to a behaviour
+/// Signature -- exit state, trap kind, output checksum, output text.
+/// Instruction and cycle counts are deliberately excluded: NOP-inserted
+/// variants legitimately execute different instruction counts. Replicas
+/// vote by signature equality; the monitor classifies every round as
+/// clean consensus, minority fault masked (majority policy only), or
+/// no-quorum abort.
+///
+/// Robustness by construction: every replica run carries a step budget
+/// and the monitor arms a shared wall-clock watchdog
+/// (mexec::RunOptions::Cancel), so one hung replica cannot stall the
+/// vote. A replica that keeps losing votes is ejected and a replacement
+/// is respawned from fresh seeds (verify::RetrySchedule, bounded
+/// attempts with seed-space backoff); when respawn fails the monitor
+/// degrades to the surviving quorum rather than aborting.
+///
+/// Determinism contract: with no timeouts firing and no tamper seam
+/// installed, an NvxResult is a pure function of (program, battery,
+/// options) -- independent of Jobs and scheduling -- because replicas
+/// are pure functions of their seeds and the vote is order-insensitive.
+/// Wall-clock timeouts are the documented exception: *whether* a
+/// watchdog fires depends on real time, so runs that time out are
+/// reproducible in classification but not guaranteed bit-stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_NVX_NVX_H
+#define PGSD_NVX_NVX_H
+
+#include "driver/Driver.h"
+#include "mexec/Interp.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pgsd {
+namespace nvx {
+
+/// How many replicas must agree for a round to pass.
+enum class VotePolicy : uint8_t {
+  Majority,  ///< Strict majority wins; minority faults are masked.
+  Unanimous, ///< All replicas must agree; any divergence is no-quorum.
+};
+
+/// Returns a stable lowercase name ("majority", "unanimous").
+const char *votePolicyName(VotePolicy P);
+
+/// Parses a policy name as accepted by the pgsdc --policy flag.
+/// Returns false (leaving \p Out untouched) on anything unknown.
+bool parseVotePolicy(const std::string &Name, VotePolicy &Out);
+
+/// Classification of one lockstep round.
+enum class RoundOutcome : uint8_t {
+  Consensus,   ///< Every voting replica agreed.
+  MaskedFault, ///< A majority agreed; the minority was outvoted.
+  NoQuorum,    ///< No winning coalition under the policy.
+};
+
+/// Returns a stable lowercase name ("consensus", "masked-fault",
+/// "no-quorum").
+const char *roundOutcomeName(RoundOutcome O);
+
+/// The behavioural fields replicas vote on: everything diversity must
+/// preserve, nothing it may legitimately change (Instructions and
+/// Cycles10 differ across NOP-diversified variants by design, and
+/// TrapReason wording is engine detail already covered by the kind).
+struct Signature {
+  bool Trapped = false;
+  mexec::TrapKind Trap = mexec::TrapKind::None;
+  int32_t ExitCode = 0;
+  uint32_t Checksum = 1;
+  std::string Output;
+
+  bool operator==(const Signature &) const = default;
+};
+
+/// Projects a RunResult onto its vote signature.
+Signature signatureOf(const mexec::RunResult &R);
+
+/// Result of one vote over the signatures of the replicas that ran.
+struct VoteResult {
+  RoundOutcome Outcome = RoundOutcome::NoQuorum;
+  /// Index (into the voted vector) of a replica holding the plurality
+  /// signature; meaningful whenever any replica voted.
+  size_t WinnerIndex = 0;
+  /// Replicas sharing the plurality signature.
+  unsigned WinnerCount = 0;
+  /// Divergent[i] != 0 when replica i's signature differs from the
+  /// plurality signature (timed-out replicas diverge naturally: their
+  /// TrapKind::Cancelled signature cannot match a finished run).
+  std::vector<uint8_t> Divergent;
+};
+
+/// Pure vote: groups \p Sigs by equality and classifies under \p Policy.
+/// Replicas trapping with *different* trap kinds are divergent -- a
+/// disagreement, never a collective crash; replicas trapping with the
+/// *same* signature agree (consensus-on-trap is a legitimate verdict:
+/// all variants rejected the input identically). An empty \p Sigs is
+/// NoQuorum.
+VoteResult vote(const std::vector<Signature> &Sigs, VotePolicy Policy);
+
+/// Configuration of one lockstep session.
+struct NvxOptions {
+  /// Replica count K. 0 is clamped to 1.
+  unsigned Replicas = 3;
+
+  VotePolicy Policy = VotePolicy::Majority;
+
+  /// Worker threads for replica runs; 0 sizes the pool to
+  /// min(Replicas, defaultConcurrency()). 1 runs replicas inline on the
+  /// monitor thread -- fully deterministic, but with no thread to run
+  /// the watchdog the wall-clock timeout is disabled (step budgets
+  /// still bound every run).
+  unsigned Jobs = 0;
+
+  /// Seed of replica 0; replica i spawns from BaseSeed + i.
+  uint64_t BaseSeed = 1;
+
+  /// Per-replica dynamic instruction budget per round.
+  uint64_t StepBudget = 200'000'000;
+
+  /// Wall-clock budget per round; when a round exceeds it the monitor
+  /// cancels every outstanding replica (they trap TrapKind::Cancelled
+  /// and lose the vote). <= 0 disables the watchdog.
+  double TimeoutSeconds = 5.0;
+
+  /// Consecutive lost votes after which a replica is ejected.
+  unsigned EjectAfter = 2;
+
+  /// Respawn retry budget per ejection (total attempts, incl. first).
+  unsigned RespawnAttempts = 3;
+
+  /// Seed-space backoff stride for respawn schedules
+  /// (verify::RetrySchedule); nonzero by default so respawns mine fresh
+  /// seed neighbourhoods instead of replaying the spawn seeds.
+  uint64_t RespawnSeedStride = 0x9E3779B9ull;
+
+  /// Diversity configuration for every replica (and respawn).
+  diversity::DiversityOptions Diversity;
+
+  /// Verification configuration for spawn and respawn.
+  verify::VerifyOptions Verify;
+
+  /// Link options for every replica image.
+  codegen::LinkOptions Link;
+
+  /// Test seam: invoked once per freshly spawned replica (index, MIR)
+  /// before the lockstep loop starts -- fault-injection tests corrupt
+  /// or replace a replica's module here. Tampered modules are re-checked
+  /// with mir::verify; a module that no longer verifies is rejected at
+  /// load time (counted in NvxResult::LoadRejections) and its slot is
+  /// respawned like an ejection. Respawned replicas are *not* tampered.
+  std::function<void(unsigned, mir::MModule &)> TamperReplica;
+};
+
+/// One lockstep round's record, in battery order.
+struct RoundRecord {
+  size_t InputIndex = 0;
+  RoundOutcome Outcome = RoundOutcome::Consensus;
+  unsigned Voters = 0;     ///< Alive replicas that voted this round.
+  unsigned Divergent = 0;  ///< Voters outside the plurality coalition.
+  unsigned Timeouts = 0;   ///< Voters cancelled by the watchdog.
+};
+
+/// Aggregated result of one lockstep session. The three outcome
+/// counters partition Rounds (metrics_check --nvx pins the exported
+/// copies to that invariant).
+struct NvxResult {
+  uint64_t Rounds = 0;
+  uint64_t ConsensusRounds = 0;
+  uint64_t MaskedFaultRounds = 0;
+  uint64_t NoQuorumRounds = 0;
+  uint64_t Divergences = 0;      ///< Replica-round divergence events.
+  uint64_t Timeouts = 0;         ///< Replica-round watchdog cancels.
+  uint64_t Ejections = 0;        ///< Replicas removed (incl. load rejects).
+  uint64_t Respawns = 0;         ///< Successful replacements.
+  uint64_t RespawnFailures = 0;  ///< Ejections left unfilled.
+  uint64_t LoadRejections = 0;   ///< Tampered modules failing mir::verify.
+  uint64_t SpawnFallbacks = 0;   ///< Spawns that fell back to baseline.
+  unsigned ReplicasRequested = 0;
+  unsigned ActiveReplicas = 0;   ///< Alive at session end.
+  std::vector<RoundRecord> Records; ///< One per battery input.
+  /// Seeds of the replicas alive at session end (diagnostic).
+  std::vector<uint64_t> FinalSeeds;
+  double SpawnWallSeconds = 0.0;    ///< Diversify-and-verify phase.
+  double LockstepWallSeconds = 0.0; ///< All rounds, votes included.
+  double LockstepCpuSeconds = 0.0;  ///< Process CPU over the rounds.
+
+  /// True when every round reached a verdict (no no-quorum aborts).
+  bool ok() const { return NoQuorumRounds == 0; }
+  /// True when any round saw divergence or a module was rejected at
+  /// load time -- the sensor fired.
+  bool divergenceDetected() const {
+    return Divergences != 0 || LoadRejections != 0;
+  }
+};
+
+/// Runs the full session: spawn K verified replicas of \p P, then one
+/// lockstep round per battery input (an empty \p Battery uses
+/// verify::defaultInputBattery()). \p P must be compiled and ok();
+/// profile-stamp it first when Opts.Diversity needs counts. Exports
+/// nvx.* metrics to the obs registry when telemetry is enabled.
+NvxResult runLockstep(const driver::Program &P,
+                      const std::vector<std::vector<int32_t>> &Battery,
+                      const NvxOptions &Opts);
+
+} // namespace nvx
+} // namespace pgsd
+
+#endif // PGSD_NVX_NVX_H

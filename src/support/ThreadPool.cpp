@@ -51,6 +51,11 @@ void ThreadPool::wait() {
   }
 }
 
+uint64_t ThreadPool::suppressedExceptions() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return SuppressedErrors;
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
@@ -72,6 +77,8 @@ void ThreadPool::workerLoop() {
       std::unique_lock<std::mutex> Lock(Mutex);
       if (!FirstError)
         FirstError = std::current_exception();
+      else
+        ++SuppressedErrors;
     }
     {
       std::unique_lock<std::mutex> Lock(Mutex);

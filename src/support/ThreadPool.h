@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -60,6 +61,13 @@ public:
   /// (if one did). The pool stays usable afterwards.
   void wait();
 
+  /// Exceptions that were dropped because another task's exception was
+  /// already pending: only the first failure per wait() window is
+  /// rethrown, so concurrent failures would otherwise vanish silently.
+  /// Cumulative over the pool's lifetime; callers diff across wait()
+  /// calls when they want a per-batch count.
+  uint64_t suppressedExceptions() const;
+
   /// Number of worker threads.
   unsigned workerCount() const { return static_cast<unsigned>(Workers.size()); }
 
@@ -72,10 +80,11 @@ private:
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
+  mutable std::mutex Mutex; ///< mutable: suppressedExceptions() is const.
   std::condition_variable WorkAvailable; ///< Signaled on enqueue/stop.
   std::condition_variable AllIdle;       ///< Signaled when work drains.
   std::exception_ptr FirstError;         ///< First task exception, if any.
+  uint64_t SuppressedErrors = 0;         ///< Exceptions dropped after the first.
   size_t Busy = 0;                       ///< Tasks currently executing.
   bool Stopping = false;                 ///< Set once, by the destructor.
 };

@@ -79,6 +79,14 @@ struct VerifyOptions {
   /// including the first).
   unsigned MaxAttempts = 3;
 
+  /// Seed-space backoff stride for the retry schedule (RetrySchedule
+  /// below). 0 -- the default -- reproduces the historical schedule
+  /// deriveRetrySeed(Seed, Attempt) exactly; a nonzero stride walks the
+  /// base seed forward by a linearly growing step per attempt so
+  /// repeated retry loops (nvx respawn after seed exhaustion) fan out
+  /// into fresh seed neighbourhoods instead of re-mining one.
+  uint64_t SeedStride = 0;
+
   /// Execution engine for differential runs. Fast and Reference are
   /// bit-identical by contract (mexec/Precompiled.h), so this only
   /// affects verification throughput.
@@ -108,6 +116,53 @@ std::vector<std::vector<int32_t>> defaultInputBattery();
 /// the seed itself; later attempts apply a SplitMix64-style mix so the
 /// schedule is deterministic yet decorrelated.
 uint64_t deriveRetrySeed(uint64_t Seed, unsigned Attempt);
+
+/// Deterministic bounded-retry seed schedule, shared by the verified
+/// variant factory (driver::makeVariantVerified) and the nvx respawn
+/// path so both walk seeds the same way. Attempt k draws
+/// deriveRetrySeed(Base + Stride * T(k), k) where T(k) = k*(k+1)/2 is
+/// the k-th triangular number: with Stride == 0 that is byte-for-byte
+/// the historical schedule, and a nonzero Stride is a backoff in seed
+/// space -- each attempt jumps a linearly growing distance from the
+/// base, so independent schedules with distinct strides decorrelate
+/// even from a shared base seed. Purely computational: callers decide
+/// what an "attempt" does; the schedule only hands out seeds until the
+/// budget runs dry.
+class RetrySchedule {
+public:
+  /// \p MaxAttempts counts total attempts including the first; 0 is
+  /// clamped to 1 (a schedule that can never hand out a seed is useless
+  /// and historically MaxAttempts==0 meant one attempt).
+  RetrySchedule(uint64_t BaseSeed, unsigned MaxAttempts,
+                uint64_t SeedStride = 0)
+      : Base(BaseSeed), Stride(SeedStride),
+        Budget(MaxAttempts == 0 ? 1 : MaxAttempts) {}
+
+  /// Seed of attempt \p Attempt (0-based), independent of cursor state.
+  uint64_t seedFor(unsigned Attempt) const {
+    uint64_t Tri = (static_cast<uint64_t>(Attempt) * (Attempt + 1)) / 2;
+    return deriveRetrySeed(Base + Stride * Tri, Attempt);
+  }
+
+  /// True once every budgeted attempt has been drawn.
+  bool exhausted() const { return Next >= Budget; }
+
+  /// Hands out the next attempt's seed and advances. Precondition:
+  /// !exhausted().
+  uint64_t next() { return seedFor(Next++); }
+
+  /// Attempts drawn so far.
+  unsigned attemptsMade() const { return Next; }
+
+  /// Total attempt budget (>= 1).
+  unsigned budget() const { return Budget; }
+
+private:
+  uint64_t Base;
+  uint64_t Stride;
+  unsigned Budget;
+  unsigned Next = 0;
+};
 
 /// Verifies \p Variant (with linked image \p Image) against \p Baseline.
 /// Returns an empty report when the variant is behaviourally identical

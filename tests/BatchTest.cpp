@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace pgsd;
 
 namespace {
@@ -159,6 +161,9 @@ TEST(Batch, MetricsAgreeWithBatchResultCounters) {
   EXPECT_EQ(Snap.Counters.at("verify.baseline_cache.fills"),
             R.BaselineCacheFills);
   EXPECT_EQ(Snap.Counters.at("verify.attempts"), R.TotalAttempts);
+  EXPECT_EQ(Snap.Counters.at("batch.suppressed_exceptions"),
+            R.SuppressedExceptions);
+  EXPECT_EQ(R.SuppressedExceptions, 0u); // clean run suppresses nothing
   EXPECT_DOUBLE_EQ(Snap.Gauges.at("batch.jobs"), 4.0);
   EXPECT_DOUBLE_EQ(Snap.Gauges.at("batch.wall_seconds"), R.WallSeconds);
 
@@ -183,6 +188,31 @@ TEST(Batch, MetricsAgreeWithBatchResultCounters) {
   for (size_t I = 0; I != Seeds.size(); ++I)
     EXPECT_EQ(R.Variants[I].V.Image.Text, Quiet.Variants[I].V.Image.Text)
         << "telemetry changed variant bits at seed index " << I;
+}
+
+TEST(Batch, SuppressedWorkerExceptionsAreCountedAndExported) {
+  driver::Program P =
+      driver::compileProgram("fn main() { return 7; }", "thrower");
+  ASSERT_TRUE(P.ok()) << P.errors();
+
+  obs::Registry::global().reset();
+  obs::setEnabled(true);
+  driver::BatchOptions B;
+  B.Jobs = 4;
+  B.Verify.MaxAttempts = 1;
+  // Every worker task throws: the first exception propagates out of the
+  // batch, and the other three must be counted, not silently dropped.
+  B.Verify.InjectFault = [](mir::MModule &, codegen::Image &, uint64_t) {
+    throw std::runtime_error("seam exploded");
+  };
+  EXPECT_THROW(driver::makeVariantsBatch(
+                   P, diversity::DiversityOptions::uniform(0.5),
+                   {1, 2, 3, 4}, B),
+               std::runtime_error);
+  obs::LocalMetrics Snap = obs::Registry::global().snapshot();
+  obs::setEnabled(false);
+  obs::Registry::global().reset();
+  EXPECT_EQ(Snap.Counters.at("batch.suppressed_exceptions"), 3u);
 }
 
 TEST(Batch, DefaultJobCountUsesHardwareConcurrency) {

@@ -33,6 +33,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <climits>
 #include <functional>
 #include <string>
@@ -208,6 +209,29 @@ TEST(EngineParityTrap, StepBudget) {
                   Opts, mexec::TrapKind::StepBudget,
                   "budget " + std::to_string(Budget));
   }
+}
+
+TEST(EngineParityTrap, PreSetCancelFlag) {
+  // Cooperative cancellation (the nvx watchdog's kill switch): both
+  // engines poll RunOptions::Cancel at the same counted-instruction
+  // stride, so a flag raised before the run starts traps bit-identically
+  // at the first poll point. (Mid-run cancellation is wall-clock timing
+  // and thus exempt from the bit-identity contract.)
+  std::atomic<bool> Flag{true};
+  mexec::RunOptions Opts;
+  Opts.CollectOutput = true;
+  Opts.CollectBlockCounts = true;
+  Opts.Cancel = &Flag;
+  runBothSource(R"(
+    fn main() {
+      var i = 0;
+      while (i >= 0) { i = i + 1; }
+      return i;
+    }
+  )",
+                Opts, mexec::TrapKind::Cancelled, "pre-set cancel");
+  EXPECT_STREQ(mexec::trapKindName(mexec::TrapKind::Cancelled),
+               "cancelled");
 }
 
 TEST(EngineParityTrap, CallDepth) {

@@ -82,6 +82,22 @@ TEST(ThreadPool, PropagatesFirstTaskException) {
   EXPECT_EQ(Completed.load(), 9);
 }
 
+TEST(ThreadPool, CountsSuppressedExceptions) {
+  support::ThreadPool Pool(3);
+  EXPECT_EQ(Pool.suppressedExceptions(), 0u);
+  for (int I = 0; I != 5; ++I)
+    Pool.enqueue([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // One exception is rethrown; the other four would previously vanish
+  // silently. The counter surfaces them.
+  EXPECT_EQ(Pool.suppressedExceptions(), 4u);
+  // The count is cumulative across wait() rounds (callers diff it).
+  Pool.enqueue([] { throw std::runtime_error("boom"); });
+  Pool.enqueue([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  EXPECT_EQ(Pool.suppressedExceptions(), 5u);
+}
+
 TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
   support::ThreadPool Pool(4);
   // Four tasks that each wait until all four have started can only

@@ -298,6 +298,79 @@ TEST(Verify, RetrySucceedsWithDerivedSeed) {
   EXPECT_FALSE(VV.Report.has(verify::ErrorCode::RetriesExhausted));
 }
 
+TEST(Verify, RetryScheduleStrideZeroMatchesHistoricalSchedule) {
+  // Stride 0 must reproduce deriveRetrySeed(Base, k) byte for byte:
+  // existing seeds, golden files, and reproduction scripts depend on
+  // the historical walk.
+  verify::RetrySchedule S(/*BaseSeed=*/0xabcd, /*MaxAttempts=*/4);
+  for (unsigned K = 0; K != 4; ++K)
+    EXPECT_EQ(S.seedFor(K), verify::deriveRetrySeed(0xabcd, K)) << K;
+  EXPECT_EQ(S.seedFor(0), 0xabcdu); // attempt 0 is the seed itself
+}
+
+TEST(Verify, RetryScheduleStrideDecorrelatesLaterAttempts) {
+  verify::RetrySchedule A(100, 4, /*SeedStride=*/0x9E3779B9ull);
+  verify::RetrySchedule B(100, 4, /*SeedStride=*/0x1000ull);
+  // Attempt 0 draws the base seed under every stride (T(0) = 0): the
+  // first attempt is always the caller's seed.
+  EXPECT_EQ(A.seedFor(0), B.seedFor(0));
+  // Later attempts walk stride-distant seed neighbourhoods.
+  for (unsigned K = 1; K != 4; ++K) {
+    EXPECT_NE(A.seedFor(K), B.seedFor(K)) << K;
+    EXPECT_NE(A.seedFor(K), verify::deriveRetrySeed(100, K)) << K;
+  }
+}
+
+TEST(Verify, RetryScheduleExhaustsAfterBudget) {
+  verify::RetrySchedule S(7, 3);
+  std::vector<uint64_t> Drawn;
+  while (!S.exhausted())
+    Drawn.push_back(S.next());
+  EXPECT_EQ(Drawn.size(), 3u);
+  EXPECT_EQ(S.attemptsMade(), 3u);
+  for (unsigned K = 0; K != 3; ++K)
+    EXPECT_EQ(Drawn[K], S.seedFor(K));
+  // A zero budget still grants one attempt.
+  verify::RetrySchedule Z(7, 0);
+  EXPECT_EQ(Z.budget(), 1u);
+  EXPECT_FALSE(Z.exhausted());
+  Z.next();
+  EXPECT_TRUE(Z.exhausted());
+}
+
+TEST(Verify, SeedStrideExhaustionFallsBackToBaseline) {
+  driver::Program P = mathProgram();
+  DiversityOptions Config = DiversityOptions::uniform(0.5);
+
+  verify::VerifyOptions VOpts;
+  VOpts.MaxAttempts = 2;
+  VOpts.SeedStride = 0x1234;
+  std::vector<uint64_t> SeedsTried;
+  VOpts.InjectFault = [&SeedsTried](mir::MModule &, codegen::Image &Image,
+                                    uint64_t AttemptSeed) {
+    SeedsTried.push_back(AttemptSeed);
+    if (!Image.Text.empty())
+      Image.Text[Image.Text.size() / 2] ^= 0x40;
+  };
+
+  driver::VerifiedVariant VV =
+      driver::makeVariantVerified(P, Config, /*Seed=*/21, VOpts);
+  // Exhaustion under a nonzero stride degrades exactly like the
+  // historical schedule: baseline fallback, full attempt count.
+  EXPECT_FALSE(VV.ok());
+  EXPECT_TRUE(VV.UsedFallback);
+  EXPECT_EQ(VV.Attempts, 2u);
+  EXPECT_TRUE(VV.Report.has(verify::ErrorCode::RetriesExhausted))
+      << VV.Report.str();
+  EXPECT_EQ(VV.V.Image.Text, driver::linkBaseline(P).Text);
+  // And the factory walked the strided schedule, not the historical one.
+  verify::RetrySchedule Expect(21, 2, 0x1234);
+  ASSERT_EQ(SeedsTried.size(), 2u);
+  EXPECT_EQ(SeedsTried[0], Expect.seedFor(0));
+  EXPECT_EQ(SeedsTried[1], Expect.seedFor(1));
+  EXPECT_NE(SeedsTried[1], verify::deriveRetrySeed(21, 1));
+}
+
 TEST(Verify, FirstAttemptCleanPath) {
   driver::Program P = loopProgram();
   DiversityOptions Config =

@@ -5,7 +5,7 @@
 //
 // Standalone validator for pgsd-metrics-v1 files:
 //
-//   metrics_check metrics.json [--batch]
+//   metrics_check metrics.json [--batch] [--nvx]
 //
 // Checks, in order:
 //  1. The file is syntactically valid JSON (obs::validateJson, the same
@@ -16,6 +16,12 @@
 //     coordinator phases batch.setup + batch.fanout partition the batch
 //     window, so their wall sum must land within 10% of the
 //     batch.wall_seconds gauge, and the verify counters must be present.
+//  4. With --nvx (the file came from `pgsdc nvx --metrics`): the vote
+//     outcome counters must partition nvx.rounds exactly, ejections
+//     cannot exceed respawns plus the replica count (every ejection
+//     either got a replacement or left a hole no bigger than the
+//     population), and the vote-latency histogram must have observed
+//     exactly one value per round.
 //
 // Exit 0 on success, 1 with a diagnostic on the first failed check.
 // Key lookups scan for the literal `"<key>": ` the deterministic obs
@@ -63,10 +69,19 @@ bool hasKey(const std::string &Text, const std::string &Key) {
 
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
-    std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch]\n");
+    std::fprintf(stderr,
+                 "usage: metrics_check <metrics.json> [--batch] [--nvx]\n");
     return 1;
   }
-  bool Batch = Argc > 2 && std::strcmp(Argv[2], "--batch") == 0;
+  bool Batch = false, Nvx = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--batch") == 0)
+      Batch = true;
+    else if (std::strcmp(Argv[I], "--nvx") == 0)
+      Nvx = true;
+    else
+      return fail(std::string("unknown option '") + Argv[I] + "'");
+  }
 
   std::ifstream In(Argv[1], std::ios::binary);
   if (!In)
@@ -127,7 +142,67 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  std::printf("metrics_check: %s OK%s\n", Argv[1],
-              Batch ? " (batch invariants hold)" : "");
+  if (Nvx) {
+    for (const char *Key :
+         {"nvx.rounds", "nvx.rounds_consensus", "nvx.rounds_masked",
+          "nvx.rounds_no_quorum", "nvx.divergences", "nvx.timeouts",
+          "nvx.ejections", "nvx.respawns", "nvx.respawn_failures",
+          "nvx.replicas", "nvx.active_replicas",
+          "nvx.vote_latency_seconds"})
+      if (!hasKey(Text, Key))
+        return fail(std::string("nvx metrics missing \"") + Key + "\"");
+
+    // Every round is classified exactly once, so the three outcome
+    // counters must partition nvx.rounds.
+    double Rounds = 0, Consensus = 0, Masked = 0, NoQuorum = 0;
+    if (!findNumber(Text, "nvx.rounds", Rounds) ||
+        !findNumber(Text, "nvx.rounds_consensus", Consensus) ||
+        !findNumber(Text, "nvx.rounds_masked", Masked) ||
+        !findNumber(Text, "nvx.rounds_no_quorum", NoQuorum))
+      return fail("cannot read nvx round counters");
+    if (Consensus + Masked + NoQuorum != Rounds) {
+      std::fprintf(stderr,
+                   "metrics_check: nvx outcome counters %.0f + %.0f + "
+                   "%.0f do not partition nvx.rounds %.0f\n",
+                   Consensus, Masked, NoQuorum, Rounds);
+      return 1;
+    }
+
+    // Every ejection either got a respawned replacement or left a hole,
+    // and there are at most nvx.replicas holes to leave.
+    double Ejections = 0, Respawns = 0, Replicas = 0;
+    if (!findNumber(Text, "nvx.ejections", Ejections) ||
+        !findNumber(Text, "nvx.respawns", Respawns) ||
+        !findNumber(Text, "nvx.replicas", Replicas))
+      return fail("cannot read nvx ejection/respawn counters");
+    if (Ejections > Respawns + Replicas) {
+      std::fprintf(stderr,
+                   "metrics_check: nvx.ejections %.0f exceeds "
+                   "nvx.respawns %.0f + nvx.replicas %.0f\n",
+                   Ejections, Respawns, Replicas);
+      return 1;
+    }
+
+    // The monitor observes one vote latency per round.
+    size_t HistPos = Text.find("\"nvx.vote_latency_seconds\"");
+    double HistTotal = 0;
+    if (HistPos == std::string::npos ||
+        !findNumber(Text.substr(HistPos), "total", HistTotal))
+      return fail("cannot read nvx.vote_latency_seconds total");
+    if (HistTotal != Rounds) {
+      std::fprintf(stderr,
+                   "metrics_check: nvx.vote_latency_seconds total %.0f "
+                   "disagrees with nvx.rounds %.0f\n",
+                   HistTotal, Rounds);
+      return 1;
+    }
+  }
+
+  std::string Suffix;
+  if (Batch)
+    Suffix += " (batch invariants hold)";
+  if (Nvx)
+    Suffix += " (nvx invariants hold)";
+  std::printf("metrics_check: %s OK%s\n", Argv[1], Suffix.c_str());
   return 0;
 }

@@ -18,11 +18,14 @@
 //   pgsdc analyze --suite [--variants N]
 //   pgsdc gadgets file.minic [--seed N ...as above]
 //   pgsdc disasm file.minic
+//   pgsdc nvx file.minic [--replicas K] [--policy majority|unanimous]
+//         [--seed BASE] [--jobs J] [--timeout S] [...as above]
 //
 // Exit codes form a small taxonomy so scripts can tell failure modes
 // apart (see ExitCode below): 2 usage, 3 parse, 4 file I/O, 5 trap,
-// 6 verification failure, 7 bad profile, 8 static analysis rejected;
-// `run` passes the simulated program's own exit code through.
+// 6 verification failure, 7 bad profile, 8 static analysis rejected,
+// 9 nvx no-quorum; `run` passes the simulated program's own exit code
+// through.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +36,7 @@
 #include "workloads/Workloads.h"
 #include "gadget/Attack.h"
 #include "gadget/Scanner.h"
+#include "nvx/Nvx.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "profile/Profile.h"
@@ -64,6 +68,7 @@ enum ExitCode : int {
   ExitVerifyFailed = 6,   ///< Variant failed verification.
   ExitBadProfile = 7,     ///< Profile file malformed or mismatched.
   ExitAnalysisFailed = 8, ///< Static analyzer rejected the MIR.
+  ExitNoQuorum = 9,       ///< nvx: a lockstep round had no quorum.
 };
 
 int usage() {
@@ -85,6 +90,9 @@ int usage() {
                "             built-in workload battery\n"
                "  gadgets    scan gadgets / check attack feasibility\n"
                "  disasm     disassemble the linked image\n"
+               "  nvx        run K diversified replicas in lockstep over\n"
+               "             the input battery, voting on behaviour;\n"
+               "             divergence is reported as a fault sensor\n"
                "\n"
                "options:\n"
                "  --input \"1 2 3\"    integers fed to read_int()\n"
@@ -105,13 +113,18 @@ int usage() {
                "  --out-dir DIR       write each variant's .text (batch)\n"
                "  --metrics FILE      enable pipeline telemetry and write\n"
                "                      metrics JSON (run/verify/analyze/\n"
-               "                      batch; batch also prints a stage\n"
-               "                      breakdown table)\n"
+               "                      batch/nvx; batch also prints a\n"
+               "                      stage breakdown table)\n"
                "  --no-opt            disable the -O2 pipeline\n"
+               "  --replicas K        nvx replica count (default 3)\n"
+               "  --policy P          nvx vote policy: majority (default)\n"
+               "                      | unanimous\n"
+               "  --timeout S         nvx per-round wall-clock budget in\n"
+               "                      seconds (default 5; 0 disables)\n"
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
                "  5 program trapped, 6 verification failed, 7 bad profile,\n"
-               "  8 static analysis rejected\n");
+               "  8 static analysis rejected, 9 nvx no-quorum\n");
   return ExitUsage;
 }
 
@@ -159,6 +172,9 @@ struct Options {
   unsigned Jobs = 0;       ///< Worker threads; 0 means all cores.
   std::string OutDir;      ///< Where batch writes variant images.
   std::string MetricsFile; ///< Enable telemetry, write JSON here.
+  unsigned Replicas = 3;   ///< nvx replica count.
+  nvx::VotePolicy Policy = nvx::VotePolicy::Majority;
+  double TimeoutSeconds = 5.0; ///< nvx per-round wall budget.
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -262,6 +278,29 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.MetricsFile = V;
+    } else if (Arg == "--replicas") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.Replicas =
+          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Replicas == 0) {
+        std::fprintf(stderr, "pgsdc: --replicas must be at least 1\n");
+        return false;
+      }
+    } else if (Arg == "--policy") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      if (!nvx::parseVotePolicy(V, Opts.Policy)) {
+        std::fprintf(stderr, "pgsdc: unknown policy '%s'\n", V);
+        return false;
+      }
+    } else if (Arg == "--timeout") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.TimeoutSeconds = std::strtod(V, nullptr);
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -660,6 +699,59 @@ int cmdAnalyze(const Options &Opts) {
   return ExitOK;
 }
 
+int cmdNvx(const Options &Opts) {
+  driver::Program P;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
+  if (!Opts.InputText.empty() && !P.HasProfile) {
+    // Like batch, --input doubles as the training set.
+    if (!driver::profileAndStamp(P, parseInput(Opts.InputText))) {
+      std::fprintf(stderr, "pgsdc: training run trapped\n");
+      return ExitTrap;
+    }
+  }
+  nvx::NvxOptions N;
+  N.Replicas = Opts.Replicas;
+  N.Policy = Opts.Policy;
+  N.Jobs = Opts.Jobs;
+  N.BaseSeed = Opts.Seed;
+  N.TimeoutSeconds = Opts.TimeoutSeconds;
+  N.Diversity = diversityOptions(Opts);
+  N.Verify.MaxAttempts = Opts.Retries;
+  N.Verify.Engine = Opts.Engine;
+  nvx::NvxResult R = nvx::runLockstep(P, {}, N);
+
+  std::printf("nvx: %u replicas, %s vote, %llu rounds: %llu consensus, "
+              "%llu masked, %llu no-quorum\n",
+              R.ReplicasRequested, nvx::votePolicyName(Opts.Policy),
+              static_cast<unsigned long long>(R.Rounds),
+              static_cast<unsigned long long>(R.ConsensusRounds),
+              static_cast<unsigned long long>(R.MaskedFaultRounds),
+              static_cast<unsigned long long>(R.NoQuorumRounds));
+  std::printf("sensor: %llu divergences, %llu timeouts, %llu load "
+              "rejections\n",
+              static_cast<unsigned long long>(R.Divergences),
+              static_cast<unsigned long long>(R.Timeouts),
+              static_cast<unsigned long long>(R.LoadRejections));
+  std::printf("degradation: %llu ejections, %llu respawns, %llu respawn "
+              "failures; %u/%u replicas alive at end\n",
+              static_cast<unsigned long long>(R.Ejections),
+              static_cast<unsigned long long>(R.Respawns),
+              static_cast<unsigned long long>(R.RespawnFailures),
+              R.ActiveReplicas, R.ReplicasRequested);
+  if (obs::enabled())
+    printPhaseTable(stdout);
+  if (!R.ok()) {
+    std::fprintf(stderr,
+                 "pgsdc: %llu round(s) reached no quorum under the %s "
+                 "policy\n",
+                 static_cast<unsigned long long>(R.NoQuorumRounds),
+                 nvx::votePolicyName(Opts.Policy));
+    return ExitNoQuorum;
+  }
+  return ExitOK;
+}
+
 int cmdGadgets(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
@@ -731,6 +823,8 @@ int dispatch(const Options &Opts) {
     return cmdBatch(Opts);
   if (Opts.Command == "analyze")
     return cmdAnalyze(Opts);
+  if (Opts.Command == "nvx")
+    return cmdNvx(Opts);
   if (Opts.Command == "gadgets")
     return cmdGadgets(Opts);
   if (Opts.Command == "disasm")
