@@ -1,0 +1,216 @@
+//===-- bench/equiv_throughput.cpp - Static proof vs. dynamic diff cost ----===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Measures what translation validation buys: for every workload of the
+// SPEC-like suite, a population of diversified variants is checked two
+// ways --
+//
+//   static:  analysis::proveEquivalent, the symbolic equivalence proof
+//            (no execution at all), and
+//   dynamic: verify::verifyVariant restricted to differential execution
+//            over the default input battery (image/structure/profile
+//            families off, baseline runs served from a shared
+//            BaselineCache, i.e. the marginal cost a batch pays per
+//            variant),
+//
+// and the per-variant wall costs are recorded as JSON (BENCH_equiv.json
+// by default, or argv[1]). The bench is self-checking: a clean variant
+// refuted by the prover, or a variant the two checkers disagree on, is
+// a correctness bug and fails the run rather than publishing numbers.
+//
+// Knobs:
+//   PGSD_QUICK=1     -- 4 variants over a 5-workload subset (CI smoke).
+//   PGSD_VARIANTS=N  -- variants per workload (default 16).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Equiv.h"
+#include "bench/BenchCommon.h"
+#include "driver/Driver.h"
+#include "obs/Json.h"
+#include "verify/BaselineCache.h"
+#include "verify/Verifier.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  if (const char *V = std::getenv(Name)) {
+    int N = std::atoi(V);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return Default;
+}
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  std::string Name;
+  unsigned Variants = 0;
+  uint64_t FunctionsProved = 0;
+  double StaticWall = 0.0;
+  double DynamicWall = 0.0;
+
+  double ratio() const {
+    return StaticWall > 0.0 ? DynamicWall / StaticWall : 0.0;
+  }
+};
+
+void appendJsonRow(std::string &Out, const Row &R, bool Last) {
+  Out += "    {\"name\": " + obs::jsonString(R.Name) +
+         ", \"variants\": " + obs::jsonUInt(R.Variants) +
+         ", \"functions_proved\": " + obs::jsonUInt(R.FunctionsProved) +
+         ", \"static_wall_s\": " + obs::jsonNumber(R.StaticWall, 5) +
+         ", \"static_per_variant_ms\": " +
+         obs::jsonNumber(R.Variants ? 1e3 * R.StaticWall / R.Variants : 0,
+                         4) +
+         ", \"dynamic_wall_s\": " + obs::jsonNumber(R.DynamicWall, 5) +
+         ", \"dynamic_per_variant_ms\": " +
+         obs::jsonNumber(R.Variants ? 1e3 * R.DynamicWall / R.Variants : 0,
+                         4) +
+         ", \"dynamic_over_static\": " + obs::jsonNumber(R.ratio(), 2) +
+         "}" + (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_equiv.json";
+  bool Quick = [] {
+    const char *Q = std::getenv("PGSD_QUICK");
+    return Q && Q[0] == '1';
+  }();
+  unsigned VariantsPer = envUnsigned("PGSD_VARIANTS", Quick ? 4 : 16);
+
+  const std::vector<workloads::Workload> &Suite = workloads::specSuite();
+  size_t NumWorkloads =
+      Quick ? std::min<size_t>(5, Suite.size()) : Suite.size();
+
+  auto Opts = diversity::DiversityOptions::profiled(
+      diversity::ProbabilityModel::Log, 0.0, 0.3);
+
+  std::vector<Row> Rows;
+  double TotalStatic = 0, TotalDynamic = 0;
+  uint64_t TotalVariants = 0;
+  for (size_t WI = 0; WI != NumWorkloads; ++WI) {
+    const workloads::Workload &W = Suite[WI];
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.ok()) {
+      std::fprintf(stderr, "equiv_throughput: %s failed to compile:\n%s",
+                   W.Name.c_str(), P.errors().c_str());
+      return 1;
+    }
+    if (!driver::profileAndStamp(P, W.TrainInput)) {
+      std::fprintf(stderr, "equiv_throughput: %s training run trapped\n",
+                   W.Name.c_str());
+      return 1;
+    }
+
+    // Build the population up front so neither timed section pays for
+    // diversification or linking.
+    std::vector<driver::Variant> Variants;
+    Variants.reserve(VariantsPer);
+    for (unsigned S = 0; S != VariantsPer; ++S)
+      Variants.push_back(
+          driver::makeVariant(P, Opts, 0xe9010000ull + WI * 1000 + S));
+
+    Row R;
+    R.Name = W.Name;
+    R.Variants = VariantsPer;
+
+    // Static: the symbolic proof, every variant against the baseline.
+    double T0 = now();
+    for (const driver::Variant &V : Variants) {
+      analysis::EquivStats S;
+      verify::Report Rep = analysis::proveEquivalent(
+          P.MIR, V.MIR, analysis::EquivOptions(), &S);
+      if (!Rep.ok()) {
+        std::fprintf(stderr,
+                     "equiv_throughput: %s: prover refuted a clean "
+                     "variant:\n%s",
+                     W.Name.c_str(), Rep.str().c_str());
+        return 1;
+      }
+      R.FunctionsProved += S.FunctionsProved;
+    }
+    R.StaticWall = now() - T0;
+
+    // Dynamic: differential execution only, marginal cost (baseline
+    // runs come from the shared cache, as in a production batch).
+    verify::VerifyOptions VO;
+    VO.CheckImage = false;
+    VO.CheckStructure = false;
+    VO.CheckProfile = false;
+    verify::BaselineCache Cache(P.MIR, VO);
+    VO.Cache = &Cache;
+    T0 = now();
+    for (const driver::Variant &V : Variants) {
+      verify::Report Rep = verify::verifyVariant(P.MIR, V.MIR, V.Image, VO);
+      if (!Rep.ok()) {
+        std::fprintf(stderr,
+                     "equiv_throughput: %s: differential execution "
+                     "rejected a clean variant:\n%s",
+                     W.Name.c_str(), Rep.str().c_str());
+        return 1;
+      }
+    }
+    R.DynamicWall = now() - T0;
+
+    TotalStatic += R.StaticWall;
+    TotalDynamic += R.DynamicWall;
+    TotalVariants += VariantsPer;
+    std::printf("%-16s %2u variants: static %.2fms/variant, dynamic "
+                "%.2fms/variant (%.1fx)\n",
+                W.Name.c_str(), VariantsPer,
+                1e3 * R.StaticWall / VariantsPer,
+                1e3 * R.DynamicWall / VariantsPer, R.ratio());
+    Rows.push_back(std::move(R));
+  }
+
+  double Ratio = TotalStatic > 0 ? TotalDynamic / TotalStatic : 0.0;
+  std::printf("total: %llu variants, static %.3fs, dynamic %.3fs, "
+              "dynamic/static %.1fx\n",
+              static_cast<unsigned long long>(TotalVariants), TotalStatic,
+              TotalDynamic, Ratio);
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"variants_per_workload\": " + obs::jsonUInt(VariantsPer) +
+          ",\n";
+  Json += "  \"total_variants\": " + obs::jsonUInt(TotalVariants) + ",\n";
+  Json += "  \"total_static_wall_s\": " + obs::jsonNumber(TotalStatic, 4) +
+          ",\n";
+  Json +=
+      "  \"total_dynamic_wall_s\": " + obs::jsonNumber(TotalDynamic, 4) +
+      ",\n";
+  Json += "  \"dynamic_over_static\": " + obs::jsonNumber(Ratio, 2) +
+          ",\n  \"workloads\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I)
+    appendJsonRow(Json, Rows[I], I + 1 == Rows.size());
+  Json += "  ]\n}\n";
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "equiv_throughput: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fputs(Json.c_str(), Out);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

@@ -97,6 +97,22 @@ FlagEffect analysis::flagEffect(const MInstr &I) {
   return FlagEffect::Clobbers; // unknown opcode: be conservative
 }
 
+bool analysis::isInsertedNop(const MInstr &I) {
+  // The insertion pass only ever adds MOp::Nop (one Table 1 candidate
+  // per site); no other opcode is a removable decoration.
+  return I.Op == MOp::Nop;
+}
+
+std::vector<const MInstr *>
+analysis::nonNopInstrs(const mir::MBasicBlock &BB) {
+  std::vector<const MInstr *> Out;
+  Out.reserve(BB.Instrs.size());
+  for (const MInstr &I : BB.Instrs)
+    if (!isInsertedNop(I))
+      Out.push_back(&I);
+  return Out;
+}
+
 void analysis::forEachReadReg(const MInstr &I,
                               const std::function<void(Reg)> &Fn) {
   switch (I.Op) {

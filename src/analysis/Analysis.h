@@ -62,6 +62,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace pgsd {
 namespace analysis {
@@ -104,6 +105,19 @@ enum class FlagEffect : uint8_t {
 /// inserted between a flag definition and its consumer, which is the
 /// static form of Table 1's "preserves all processor state" claim.
 FlagEffect flagEffect(const mir::MInstr &I);
+
+/// True when \p I is an inserted diversity NOP: an instruction the
+/// NOP-insertion pass may have added and every comparison against the
+/// baseline must ignore. This is the single definition shared by the
+/// verifier's NOP-only structural diff and the equivalence prover's
+/// normalization, so the two can never disagree about what counts as an
+/// inserted NOP. Every MOp::Nop carries a Table 1 candidate (x86/Nops.h)
+/// and is flag-transparent by construction (flagEffect == Neutral).
+bool isInsertedNop(const mir::MInstr &I);
+
+/// Returns pointers to the instructions of \p BB that survive NOP
+/// normalization (everything isInsertedNop skips), in order.
+std::vector<const mir::MInstr *> nonNopInstrs(const mir::MBasicBlock &BB);
 
 /// Invokes \p Fn for every register \p I reads, explicit operands and
 /// implicit uses (CDQ/IDIV/Ret read EAX, ShiftRC reads CL, ...) alike.

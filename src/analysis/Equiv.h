@@ -1,0 +1,93 @@
+//===-- analysis/Equiv.h - Translation validation for variants ---*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translation validation: a symbolic proof that a diversified variant
+/// is observationally equivalent to its baseline, computed without
+/// executing either module. The paper's premise -- NOP insertion and
+/// block shifting preserve semantics -- is discharged dynamically by
+/// verify::diffExecute over an input battery, which can miss any
+/// divergence the battery does not exercise. The prover here discharges
+/// it statically: its cost is independent of battery size and its
+/// guarantee independent of input coverage.
+///
+/// Per matched function pair, the prover
+///
+///  1. recovers the block correspondence under the block-shift layout
+///     permutation (identity, or baseline block i <-> variant block
+///     i+2 once the two-block entry prelude is proven effect-free),
+///  2. symbolically executes each block pair over an effect algebra: a
+///     dense register environment of hash-consed terms, a lazy EFLAGS
+///     term (CMP/TEST build definitions, everything analysis::flagEffect
+///     classifies as Clobbers invalidates), a symbolic push stack, and
+///     an ordered trace of memory / call / profile-counter events,
+///  3. normalizes away inserted NOPs (analysis::isInsertedNop, the same
+///     classification the verifier's structural diff uses), and
+///  4. requires the two sides to agree on the full event trace, every
+///     conditional branch condition and (shift-corrected) target, the
+///     terminator, the exit register environment, the exit stack, and
+///     the exit flags term.
+///
+/// A disagreement is a counterexample, reported as a structured
+/// verify::Diagnostic naming the function, the block pair, and the
+/// first mismatching effect with the offending instruction pretty-
+/// printed via mir::printInstr. The proof is sound for acceptance: the
+/// effect algebra never identifies two computations that could differ
+/// concretely, so "proved" implies observational equivalence under the
+/// execution model of mexec/Interp.h. It is deliberately conservative
+/// for rejection -- semantically equal but syntactically different
+/// computations (e.g. re-associated arithmetic) are refuted, which is
+/// exactly right for transforms whose contract is "the instruction
+/// stream minus NOPs is unchanged".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_ANALYSIS_EQUIV_H
+#define PGSD_ANALYSIS_EQUIV_H
+
+#include "lir/MIR.h"
+#include "verify/Diagnostic.h"
+
+#include <cstdint>
+
+namespace pgsd {
+namespace analysis {
+
+/// Configuration of one equivalence proof.
+struct EquivOptions {
+  /// Diagnostic cap per run: the prover stops collecting
+  /// counterexamples (at most one per function) once reached.
+  unsigned MaxDiagnostics = 16;
+
+  /// Term-arena cap per function pair; exceeding it aborts the proof of
+  /// that function with ErrorCode::EquivAborted instead of a verdict.
+  /// Generous: real functions build a few terms per instruction.
+  uint32_t MaxTermsPerFunction = 1u << 22;
+};
+
+/// Tally of one proveEquivalent call, per matched function.
+struct EquivStats {
+  uint64_t FunctionsProved = 0;
+  uint64_t FunctionsRefuted = 0;
+  uint64_t FunctionsAborted = 0;
+};
+
+/// Proves \p Variant observationally equivalent to \p Baseline. An
+/// empty report is the proof; otherwise every diagnostic carries
+/// ErrorCode::EquivRefuted with a counterexample (or EquivAborted when
+/// the prover could not finish a function). Exports equiv.* metrics
+/// (modules_checked / proved / refuted / aborted counters and a
+/// per-function wall-time histogram) when telemetry is enabled.
+verify::Report proveEquivalent(const mir::MModule &Baseline,
+                               const mir::MModule &Variant,
+                               const EquivOptions &Opts = EquivOptions(),
+                               EquivStats *Stats = nullptr);
+
+} // namespace analysis
+} // namespace pgsd
+
+#endif // PGSD_ANALYSIS_EQUIV_H

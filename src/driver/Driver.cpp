@@ -8,6 +8,7 @@
 #include "driver/Driver.h"
 
 #include "analysis/Analysis.h"
+#include "analysis/Equiv.h"
 #include "frontend/Lower.h"
 #include "frontend/Parser.h"
 #include "lir/ISel.h"
@@ -154,7 +155,20 @@ driver::makeVariantVerified(const Program &P,
         R.add(verify::ErrorCode::StaticAnalysisRejected,
               "variant rejected by static analysis before execution");
       } else {
-        R = verify::verifyVariant(P.MIR, V.MIR, V.Image, Effective);
+        // Translation validation second: a symbolic equivalence proof
+        // against the baseline (analysis/Equiv.h). Still static -- a
+        // refutation carries a counterexample and skips differential
+        // execution entirely.
+        if (Effective.CheckEquiv)
+          R = analysis::proveEquivalent(P.MIR, V.MIR);
+        if (!R.ok()) {
+          obs::counterAdd("verify.equiv_rejections");
+          R.add(verify::ErrorCode::EquivRejected,
+                "variant rejected by translation validation before "
+                "execution");
+        } else {
+          R = verify::verifyVariant(P.MIR, V.MIR, V.Image, Effective);
+        }
       }
     }
     Out.Attempts = Attempt + 1;

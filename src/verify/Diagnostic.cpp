@@ -58,6 +58,12 @@ const char *verify::errorCodeName(ErrorCode Code) {
     return "analysis-callconv-violation";
   case ErrorCode::StaticAnalysisRejected:
     return "static-analysis-rejected";
+  case ErrorCode::EquivRefuted:
+    return "equiv-refuted";
+  case ErrorCode::EquivAborted:
+    return "equiv-aborted";
+  case ErrorCode::EquivRejected:
+    return "equiv-rejected";
   case ErrorCode::RetriesExhausted:
     return "retries-exhausted";
   case ErrorCode::FileIOError:

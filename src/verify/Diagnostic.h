@@ -64,6 +64,15 @@ enum class ErrorCode : uint8_t {
   StaticAnalysisRejected,    ///< Summary code: the analyzer vetoed a
                              ///< variant before differential execution.
 
+  // Translation validation (analysis/Equiv): symbolic proof that a
+  // variant is observationally equivalent to its baseline.
+  EquivRefuted, ///< The prover found a counterexample (first mismatching
+                ///< symbolic effect, branch condition, or exit state).
+  EquivAborted, ///< The prover could not finish (malformed baseline or
+                ///< resource cap); no verdict either way.
+  EquivRejected,///< Summary code: translation validation vetoed a
+                ///< variant before differential execution.
+
   // Driver / CLI policy.
   RetriesExhausted, ///< All reseeded attempts failed; baseline used.
   FileIOError,      ///< A file could not be read or written.

@@ -7,6 +7,7 @@
 
 #include "verify/Verifier.h"
 
+#include "analysis/Analysis.h"
 #include "mexec/Interp.h"
 #include "mexec/Precompiled.h"
 #include "obs/Metrics.h"
@@ -154,13 +155,11 @@ bool sameInstr(const MInstr &B, const MInstr &V, uint32_t BranchShift) {
   return true;
 }
 
+/// NOP normalization for the structural diff. The classification of
+/// what counts as an inserted NOP is owned by analysis/ so this diff
+/// and the equivalence prover (analysis/Equiv.h) can never disagree.
 std::vector<const MInstr *> stripNops(const MBasicBlock &BB) {
-  std::vector<const MInstr *> Out;
-  Out.reserve(BB.Instrs.size());
-  for (const MInstr &I : BB.Instrs)
-    if (I.Op != MOp::Nop)
-      Out.push_back(&I);
-  return Out;
+  return analysis::nonNopInstrs(BB);
 }
 
 /// True when \p F starts with the two-block prelude insertBlockShift

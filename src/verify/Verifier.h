@@ -71,6 +71,14 @@ struct VerifyOptions {
   /// Enable CFG flow-conservation checks on stamped profile counts.
   bool CheckProfile = true;
 
+  /// Enable the translation-validation stage in
+  /// driver::makeVariantVerified: the symbolic equivalence prover
+  /// (analysis/Equiv.h) must prove the variant observationally
+  /// equivalent to the baseline before any dynamic verification runs.
+  /// A refutation rejects the attempt with ErrorCode::EquivRejected and
+  /// moves the retry schedule to the next seed.
+  bool CheckEquiv = true;
+
   /// Link options the image under test was produced with; the re-link
   /// comparison must use the same ones.
   codegen::LinkOptions Link;

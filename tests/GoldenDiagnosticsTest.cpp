@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/Equiv.h"
 #include "analysis/MirFault.h"
 #include "driver/Driver.h"
 
@@ -77,6 +78,53 @@ TEST(GoldenDiagnostics, PinnedTextPerCheckerClass) {
     ASSERT_TRUE(analysis::injectMirFault(Mutant, C.Class, C.Seed, &Desc))
         << analysis::mirFaultClassName(C.Class);
     verify::Report R = analysis::analyzeModule(Mutant);
+    ASSERT_FALSE(R.ok()) << analysis::mirFaultClassName(C.Class);
+    EXPECT_EQ(R.Diags.front().str(), C.Expected)
+        << analysis::mirFaultClassName(C.Class) << " (" << Desc << ")";
+  }
+}
+
+// The same seeded violations, refuted by the translation validator
+// (analysis/Equiv.h) instead of the dataflow checkers. The pinned text
+// is the counterexample contract: the variant-side location of the
+// first mismatch plus the two symbolic states that disagree -- an
+// effect-trace entry, a branch condition, a stack depth, or a
+// call-clobbered register dependence, depending on the class.
+const GoldenCase EquivCases[] = {
+    {MirFaultClass::CfgBreak, 7,
+     "[equiv-refuted] main: mbb2 #8 'jmp mbb7': branch target mbb7 out "
+     "of range (function has 4 blocks)"},
+    {MirFaultClass::DroppedDef, 7,
+     "[equiv-refuted] avg: mbb0 #4 'idiv ecx': effect #1 differs from "
+     "baseline: idiv 2 (edx:eax = sext_hi(add(.., ..)):add(frame[+8]@0, "
+     "ecx@entry)) vs load [ebp+12]"},
+    {MirFaultClass::FlagClobber, 7,
+     "[equiv-refuted] main: mbb1 #4 'jl mbb2': branch condition differs "
+     "from baseline: flags(clobbered#0) vs flags(cmp ebx@entry, "
+     "frame[-8]@0)"},
+    {MirFaultClass::UnbalancedPush, 7,
+     "[equiv-refuted] main: mbb3: block exits with 1 words pushed; "
+     "baseline has 0"},
+    {MirFaultClass::FrameEscape, 7,
+     "[equiv-refuted] main: mbb0 #1 'mov [ebp-52], eax': effect #1 "
+     "differs from baseline: store [ebp-52] = call#0.eax vs store "
+     "[ebp-8] = call#0.eax"},
+    {MirFaultClass::CallContractBreak, 7,
+     "[equiv-refuted] main: mbb2 #3 'mov eax, ecx': reads caller-saved "
+     "ecx while it holds a call-clobbered value; no matching read in "
+     "baseline"},
+};
+
+TEST(GoldenDiagnostics, PinnedEquivalenceCounterexamples) {
+  driver::Program P =
+      driver::compileProgram(FixtureSource, "golden.minic", true);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  for (const GoldenCase &C : EquivCases) {
+    mir::MModule Mutant = P.MIR;
+    std::string Desc;
+    ASSERT_TRUE(analysis::injectMirFault(Mutant, C.Class, C.Seed, &Desc))
+        << analysis::mirFaultClassName(C.Class);
+    verify::Report R = analysis::proveEquivalent(P.MIR, Mutant);
     ASSERT_FALSE(R.ok()) << analysis::mirFaultClassName(C.Class);
     EXPECT_EQ(R.Diags.front().str(), C.Expected)
         << analysis::mirFaultClassName(C.Class) << " (" << Desc << ")";

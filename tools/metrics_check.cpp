@@ -5,7 +5,7 @@
 //
 // Standalone validator for pgsd-metrics-v1 files:
 //
-//   metrics_check metrics.json [--batch] [--nvx]
+//   metrics_check metrics.json [--batch] [--nvx] [--equiv]
 //
 // Checks, in order:
 //  1. The file is syntactically valid JSON (obs::validateJson, the same
@@ -22,6 +22,12 @@
 //     either got a replacement or left a hole no bigger than the
 //     population), and the vote-latency histogram must have observed
 //     exactly one value per round.
+//  5. With --equiv (the file came from a run exercising the translation
+//     validator, e.g. `pgsdc equiv --metrics` or `pgsdc verify
+//     --metrics`): the per-module verdict counters must partition
+//     equiv.modules_checked exactly, a clean run must report zero
+//     refuted and zero aborted modules, and the per-function proof-time
+//     histogram must be present.
 //
 // Exit 0 on success, 1 with a diagnostic on the first failed check.
 // Key lookups scan for the literal `"<key>": ` the deterministic obs
@@ -69,16 +75,18 @@ bool hasKey(const std::string &Text, const std::string &Key) {
 
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
-    std::fprintf(stderr,
-                 "usage: metrics_check <metrics.json> [--batch] [--nvx]\n");
+    std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch] "
+                         "[--nvx] [--equiv]\n");
     return 1;
   }
-  bool Batch = false, Nvx = false;
+  bool Batch = false, Nvx = false, Equiv = false;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--batch") == 0)
       Batch = true;
     else if (std::strcmp(Argv[I], "--nvx") == 0)
       Nvx = true;
+    else if (std::strcmp(Argv[I], "--equiv") == 0)
+      Equiv = true;
     else
       return fail(std::string("unknown option '") + Argv[I] + "'");
   }
@@ -198,11 +206,64 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Equiv) {
+    for (const char *Key :
+         {"equiv.modules_checked", "equiv.modules_proved",
+          "equiv.function_seconds"})
+      if (!hasKey(Text, Key))
+        return fail(std::string("equiv metrics missing \"") + Key +
+                    "\"");
+
+    // Every checked module gets exactly one verdict, so the three
+    // verdict counters must partition equiv.modules_checked. Refuted
+    // and aborted are absent from the sorted counter map when zero.
+    double Checked = 0, Proved = 0, Refuted = 0, Aborted = 0;
+    if (!findNumber(Text, "equiv.modules_checked", Checked) ||
+        !findNumber(Text, "equiv.modules_proved", Proved))
+      return fail("cannot read equiv module counters");
+    (void)findNumber(Text, "equiv.modules_refuted", Refuted);
+    (void)findNumber(Text, "equiv.modules_aborted", Aborted);
+    if (Proved + Refuted + Aborted != Checked) {
+      std::fprintf(stderr,
+                   "metrics_check: equiv verdict counters %.0f + %.0f + "
+                   "%.0f do not partition equiv.modules_checked %.0f\n",
+                   Proved, Refuted, Aborted, Checked);
+      return 1;
+    }
+
+    // --equiv asserts a *clean* run: translation validation accepted
+    // every module it saw and never ran out of budget.
+    if (Refuted != 0 || Aborted != 0) {
+      std::fprintf(stderr,
+                   "metrics_check: clean equiv run expected, but %.0f "
+                   "module(s) refuted and %.0f aborted\n",
+                   Refuted, Aborted);
+      return 1;
+    }
+
+    // The prover times every function pair it compares.
+    size_t HistPos = Text.find("\"equiv.function_seconds\"");
+    double HistTotal = 0;
+    if (HistPos == std::string::npos ||
+        !findNumber(Text.substr(HistPos), "total", HistTotal))
+      return fail("cannot read equiv.function_seconds total");
+    if (HistTotal < Checked) {
+      std::fprintf(stderr,
+                   "metrics_check: equiv.function_seconds total %.0f is "
+                   "below equiv.modules_checked %.0f (at least one "
+                   "function per module)\n",
+                   HistTotal, Checked);
+      return 1;
+    }
+  }
+
   std::string Suffix;
   if (Batch)
     Suffix += " (batch invariants hold)";
   if (Nvx)
     Suffix += " (nvx invariants hold)";
+  if (Equiv)
+    Suffix += " (equiv invariants hold)";
   std::printf("metrics_check: %s OK%s\n", Argv[1], Suffix.c_str());
   return 0;
 }

@@ -16,6 +16,8 @@
 //         [--seed BASE ...as above]
 //   pgsdc analyze file.minic [--variants N] [--seed N ...as above]
 //   pgsdc analyze --suite [--variants N]
+//   pgsdc equiv file.minic [--variants N] [--seed N ...as above]
+//   pgsdc equiv --suite [--variants N]
 //   pgsdc gadgets file.minic [--seed N ...as above]
 //   pgsdc disasm file.minic
 //   pgsdc nvx file.minic [--replicas K] [--policy majority|unanimous]
@@ -24,12 +26,13 @@
 // Exit codes form a small taxonomy so scripts can tell failure modes
 // apart (see ExitCode below): 2 usage, 3 parse, 4 file I/O, 5 trap,
 // 6 verification failure, 7 bad profile, 8 static analysis rejected,
-// 9 nvx no-quorum; `run` passes the simulated program's own exit code
-// through.
+// 9 nvx no-quorum, 10 equivalence refuted; `run` passes the simulated
+// program's own exit code through.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/Equiv.h"
 #include "diversity/NopInsertion.h"
 #include "driver/Batch.h"
 #include "driver/Driver.h"
@@ -69,6 +72,7 @@ enum ExitCode : int {
   ExitBadProfile = 7,     ///< Profile file malformed or mismatched.
   ExitAnalysisFailed = 8, ///< Static analyzer rejected the MIR.
   ExitNoQuorum = 9,       ///< nvx: a lockstep round had no quorum.
+  ExitEquivRefuted = 10,  ///< Translation validation refuted a variant.
 };
 
 int usage() {
@@ -88,6 +92,10 @@ int usage() {
                "             baseline MIR and diversified variants; with\n"
                "             --suite instead of a file, sweep the whole\n"
                "             built-in workload battery\n"
+               "  equiv      statically prove diversified variants\n"
+               "             observationally equivalent to the baseline\n"
+               "             (translation validation; no execution); with\n"
+               "             --suite, sweep the whole workload battery\n"
                "  gadgets    scan gadgets / check attack feasibility\n"
                "  disasm     disassemble the linked image\n"
                "  nvx        run K diversified replicas in lockstep over\n"
@@ -107,7 +115,8 @@ int usage() {
                "                      execution engine for run/verify/\n"
                "                      batch (bit-identical results)\n"
                "  --retries N         verification attempts (default 3)\n"
-               "  --variants N        variants per program (analyze)\n"
+               "  --variants N        variants per program (analyze,\n"
+               "                      equiv)\n"
                "  --seeds N           batch size: seeds BASE..BASE+N-1\n"
                "  --jobs J            worker threads (default: all cores)\n"
                "  --out-dir DIR       write each variant's .text (batch)\n"
@@ -124,7 +133,8 @@ int usage() {
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
                "  5 program trapped, 6 verification failed, 7 bad profile,\n"
-               "  8 static analysis rejected, 9 nvx no-quorum\n");
+               "  8 static analysis rejected, 9 nvx no-quorum,\n"
+               "  10 equivalence refuted\n");
   return ExitUsage;
 }
 
@@ -492,11 +502,13 @@ int cmdVerify(const Options &Opts) {
                  "pgsdc: verification failed after %u attempts; "
                  "baseline image emitted\n",
                  VV.Attempts);
-    // Distinguish "the analyzer refuted every variant before execution"
-    // from dynamic verification failures.
-    return VV.Report.has(verify::ErrorCode::StaticAnalysisRejected)
-               ? ExitAnalysisFailed
-               : ExitVerifyFailed;
+    // Distinguish the two static rejection stages -- dataflow analysis
+    // and translation validation -- from dynamic verification failures.
+    if (VV.Report.has(verify::ErrorCode::StaticAnalysisRejected))
+      return ExitAnalysisFailed;
+    if (VV.Report.has(verify::ErrorCode::EquivRejected))
+      return ExitEquivRefuted;
+    return ExitVerifyFailed;
   }
   std::printf("verified: %s seed=%llu attempts=%u "
               "(differential, image, structural checks passed)\n",
@@ -699,6 +711,88 @@ int cmdAnalyze(const Options &Opts) {
   return ExitOK;
 }
 
+/// Proves Opts.Variants NOP-insertion variants of \p P, plus their
+/// block-shifted siblings, observationally equivalent to the baseline
+/// via the symbolic prover (no execution). Returns the number of
+/// refuted or aborted modules and accumulates \p Modules.
+unsigned equivProgram(const driver::Program &P, const Options &Opts,
+                      const std::string &Label, unsigned &Modules) {
+  unsigned Failed = 0;
+  auto Prove = [&](const mir::MModule &V, const std::string &What) {
+    ++Modules;
+    verify::Report R = analysis::proveEquivalent(P.MIR, V);
+    if (R.ok())
+      return;
+    ++Failed;
+    std::fprintf(stderr,
+                 "pgsdc: %s (%s) refuted by translation validation:\n%s",
+                 Label.c_str(), What.c_str(), R.str().c_str());
+  };
+  diversity::DiversityOptions D = diversityOptions(Opts);
+  for (unsigned V = 0; V != Opts.Variants; ++V) {
+    uint64_t Seed = Opts.Seed + V;
+    mir::MModule Var = diversity::makeVariant(P.MIR, D, Seed);
+    Prove(Var, "variant seed=" + std::to_string(Seed));
+    diversity::insertBlockShift(Var, Seed ^ 0xb10c);
+    Prove(Var, "block-shifted variant seed=" + std::to_string(Seed));
+  }
+  return Failed;
+}
+
+int cmdEquivSuite(const Options &Opts) {
+  unsigned Failed = 0;
+  unsigned Programs = 0;
+  unsigned Modules = 0;
+  auto RunOne = [&](const workloads::Workload &W) {
+    ++Programs;
+    driver::Program P =
+        driver::compileProgram(W.Source, W.Name, Opts.Optimize);
+    if (!P.ok()) {
+      std::fprintf(stderr, "pgsdc: %s failed to compile:\n%s",
+                   W.Name.c_str(), P.errors().c_str());
+      ++Failed;
+      return;
+    }
+    Failed += equivProgram(P, Opts, W.Name, Modules);
+  };
+  for (const workloads::Workload &W : workloads::specSuite())
+    RunOne(W);
+  RunOne(workloads::phpInterpreter());
+  if (Failed) {
+    std::fprintf(stderr, "pgsdc: equiv --suite: %u refutation(s)\n",
+                 Failed);
+    return ExitEquivRefuted;
+  }
+  std::printf("equiv --suite: %u programs, %u variant modules proved "
+              "equivalent\n",
+              Programs, Modules);
+  return ExitOK;
+}
+
+int cmdEquiv(const Options &Opts) {
+  if (Opts.File == "--suite")
+    return cmdEquivSuite(Opts);
+  std::string Source;
+  if (!readFile(Opts.File, Source)) {
+    std::fprintf(stderr, "pgsdc: cannot read '%s'\n", Opts.File.c_str());
+    return ExitFileIO;
+  }
+  driver::Program P =
+      driver::compileProgram(Source, Opts.File, Opts.Optimize);
+  if (!P.ok()) {
+    std::fprintf(stderr, "%s", P.errors().c_str());
+    return isAnalysisCode(P.Diags.firstCode()) ? ExitAnalysisFailed
+                                               : ExitParse;
+  }
+  unsigned Modules = 0;
+  if (equivProgram(P, Opts, Opts.File, Modules))
+    return ExitEquivRefuted;
+  std::printf("equiv: %s: %u variant modules proved equivalent to "
+              "baseline\n",
+              Opts.File.c_str(), Modules);
+  return ExitOK;
+}
+
 int cmdNvx(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
@@ -823,6 +917,8 @@ int dispatch(const Options &Opts) {
     return cmdBatch(Opts);
   if (Opts.Command == "analyze")
     return cmdAnalyze(Opts);
+  if (Opts.Command == "equiv")
+    return cmdEquiv(Opts);
   if (Opts.Command == "nvx")
     return cmdNvx(Opts);
   if (Opts.Command == "gadgets")
