@@ -1,0 +1,214 @@
+//===-- bench/transform_combos.cpp - Per-combo diversity cost/benefit ------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Sweeps every single transform and every pairwise combination of the
+// diversity pipeline -- nop, shift, sched, regs and their 2-element
+// compositions -- over the SPEC-like suite and reports, per combo:
+//
+//   * diversification throughput (wall time per variant, pipeline +
+//     link),
+//   * gadget survival against the undiversified baseline (the paper's
+//     Table 2 metric, extended beyond NOP insertion), and
+//   * text-size growth.
+//
+// The bench is self-checking: every variant it times is also proved
+// observationally equivalent to the baseline by the translation
+// validator; a refuted clean variant is a correctness bug and fails the
+// run rather than publishing numbers.
+//
+// Output: BENCH_transforms.json (or argv[1]).
+//
+// Knobs:
+//   PGSD_QUICK=1     -- 2 variants over a 5-workload subset (CI smoke).
+//   PGSD_VARIANTS=N  -- variants per (workload, combo) cell (default 8).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Equiv.h"
+#include "bench/BenchCommon.h"
+#include "diversity/Transform.h"
+#include "driver/Driver.h"
+#include "gadget/Scanner.h"
+#include "obs/Json.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  if (const char *V = std::getenv(Name)) {
+    int N = std::atoi(V);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return Default;
+}
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Every single transform followed by every ordered pair, the same
+/// matrix tests/TransformMatrixTest.cpp proves correct.
+std::vector<diversity::Pipeline> comboPipelines() {
+  using diversity::Pipeline;
+  using diversity::TransformKind;
+  std::vector<Pipeline> Out;
+  for (unsigned A = 0; A != diversity::NumTransformKinds; ++A)
+    Out.push_back(
+        Pipeline({static_cast<TransformKind>(A)}));
+  for (unsigned A = 0; A != diversity::NumTransformKinds; ++A)
+    for (unsigned B = A + 1; B != diversity::NumTransformKinds; ++B)
+      Out.push_back(Pipeline({static_cast<TransformKind>(A),
+                              static_cast<TransformKind>(B)}));
+  return Out;
+}
+
+struct ComboRow {
+  std::string Label;
+  uint64_t Variants = 0;
+  // Baseline quantities are accumulated once per *variant* (not per
+  // workload) so the ratios below weight every variant equally.
+  uint64_t BaselineGadgets = 0;
+  uint64_t SurvivingGadgets = 0;
+  uint64_t BaselineBytes = 0;
+  uint64_t VariantBytes = 0;
+  double DiversifyWall = 0.0; ///< Pipeline + link, all variants.
+
+  double survivalRate() const {
+    return BaselineGadgets
+               ? static_cast<double>(SurvivingGadgets) / BaselineGadgets
+               : 0.0;
+  }
+  double sizeOverhead() const {
+    return BaselineBytes
+               ? static_cast<double>(VariantBytes) / BaselineBytes - 1.0
+               : 0.0;
+  }
+  double msPerVariant() const {
+    return Variants ? 1e3 * DiversifyWall / Variants : 0.0;
+  }
+};
+
+void appendJsonRow(std::string &Out, const ComboRow &R, bool Last) {
+  Out += "    {\"combo\": " + obs::jsonString(R.Label) +
+         ", \"variants\": " + obs::jsonUInt(R.Variants) +
+         ", \"ms_per_variant\": " + obs::jsonNumber(R.msPerVariant(), 4) +
+         ", \"gadget_survival\": " +
+         obs::jsonNumber(R.survivalRate(), 4) +
+         ", \"size_overhead\": " + obs::jsonNumber(R.sizeOverhead(), 4) +
+         "}" + (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_transforms.json";
+  bool Quick = [] {
+    const char *Q = std::getenv("PGSD_QUICK");
+    return Q && Q[0] == '1';
+  }();
+  unsigned VariantsPer = envUnsigned("PGSD_VARIANTS", Quick ? 2 : 8);
+
+  const std::vector<workloads::Workload> &Suite = workloads::specSuite();
+  size_t NumWorkloads =
+      Quick ? std::min<size_t>(5, Suite.size()) : Suite.size();
+
+  auto Opts = diversity::DiversityOptions::profiled(
+      diversity::ProbabilityModel::Log, 0.0, 0.3);
+
+  // Compile and profile the suite once; every combo reuses the programs.
+  struct Prepared {
+    driver::Program P;
+    codegen::Image Base;
+    uint64_t BaselineGadgets = 0;
+  };
+  std::vector<Prepared> Programs;
+  for (size_t WI = 0; WI != NumWorkloads; ++WI) {
+    const workloads::Workload &W = Suite[WI];
+    Prepared Prep;
+    Prep.P = driver::compileProgram(W.Source, W.Name);
+    if (!Prep.P.ok()) {
+      std::fprintf(stderr, "transform_combos: %s failed to compile:\n%s",
+                   W.Name.c_str(), Prep.P.errors().c_str());
+      return 1;
+    }
+    if (!driver::profileAndStamp(Prep.P, W.TrainInput)) {
+      std::fprintf(stderr, "transform_combos: %s training run trapped\n",
+                   W.Name.c_str());
+      return 1;
+    }
+    Prep.Base = driver::linkBaseline(Prep.P);
+    Prep.BaselineGadgets =
+        gadget::scanGadgets(Prep.Base.Text.data(), Prep.Base.Text.size())
+            .size();
+    Programs.push_back(std::move(Prep));
+  }
+
+  std::vector<ComboRow> Rows;
+  for (const diversity::Pipeline &Pipe : comboPipelines()) {
+    ComboRow Row;
+    Row.Label = Pipe.label();
+    for (const Prepared &Prep : Programs) {
+      for (unsigned S = 0; S != VariantsPer; ++S) {
+        uint64_t Seed = 0xc0b0ull + S;
+        Row.BaselineGadgets += Prep.BaselineGadgets;
+        Row.BaselineBytes += Prep.Base.Text.size();
+        double T0 = now();
+        driver::Variant V = driver::makeVariant(Prep.P, Pipe, Opts, Seed);
+        Row.DiversifyWall += now() - T0;
+        ++Row.Variants;
+        Row.VariantBytes += V.Image.Text.size();
+        Row.SurvivingGadgets +=
+            gadget::survivingGadgets(Prep.Base.Text, V.Image.Text).size();
+        verify::Report Rep = analysis::proveEquivalent(Prep.P.MIR, V.MIR);
+        if (!Rep.ok()) {
+          std::fprintf(stderr,
+                       "transform_combos: %s: prover refuted a clean "
+                       "'%s' variant (seed %llu):\n%s",
+                       Prep.P.MIR.Name.c_str(), Row.Label.c_str(),
+                       static_cast<unsigned long long>(Seed),
+                       Rep.str().c_str());
+          return 1;
+        }
+      }
+    }
+    std::printf("%-16s %3llu variants: %.2fms/variant, survival %.1f%%, "
+                "size %+.1f%%\n",
+                Row.Label.c_str(),
+                static_cast<unsigned long long>(Row.Variants),
+                Row.msPerVariant(), 100.0 * Row.survivalRate(),
+                100.0 * Row.sizeOverhead());
+    Rows.push_back(std::move(Row));
+  }
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"variants_per_cell\": " + obs::jsonUInt(VariantsPer) + ",\n";
+  Json += "  \"workloads\": " + obs::jsonUInt(NumWorkloads) + ",\n";
+  Json += "  \"combos\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I)
+    appendJsonRow(Json, Rows[I], I + 1 == Rows.size());
+  Json += "  ]\n}\n";
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "transform_combos: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fputs(Json.c_str(), Out);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

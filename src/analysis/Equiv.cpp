@@ -364,12 +364,21 @@ struct BlockExec {
 };
 
 /// Symbolically executes \p BB over \p A. \p M resolves call-target
-/// argument counts; \p NumBlocks bounds branch targets.
+/// argument counts; \p NumBlocks bounds branch targets. When
+/// \p HoldsAtEntry is non-null, physical register R starts the block
+/// holding the entry symbol of register (*HoldsAtEntry)[R] -- the
+/// inverse of a callee-saved renaming, so a renamed variant's pi(r)
+/// carries baseline r's entry value through the comparison.
 BlockExec execBlock(const MModule &M, const MBasicBlock &BB,
-                    size_t NumBlocks, Arena &A) {
+                    size_t NumBlocks, Arena &A,
+                    const std::array<uint8_t, x86::NumRegs>
+                        *HoldsAtEntry = nullptr) {
   BlockExec S;
   for (unsigned R = 0; R != x86::NumRegs; ++R)
-    S.Regs[R] = A.intern({TK::RegIn, static_cast<uint8_t>(R), 0, 0, 0});
+    S.Regs[R] = A.intern(
+        {TK::RegIn,
+         HoldsAtEntry ? (*HoldsAtEntry)[R] : static_cast<uint8_t>(R), 0,
+         0, 0});
   S.Flags = A.intern({TK::FlagsIn, 0, 0, 0, 0});
 
   uint32_t Epoch = 0;      ///< Writes + calls + counter bumps so far.
@@ -619,59 +628,57 @@ bool provenShiftPrelude(const MModule &VM, const MFunction &VF,
   return true;
 }
 
-/// Compares one function pair; on refutation or abort, appends exactly
-/// one diagnostic to \p R and returns. \p BM / \p VM are the enclosing
-/// modules (call-target argument counts).
-Verdict compareFunction(const MModule &BM, const MFunction &BF,
-                        const MModule &VM, const MFunction &VF,
-                        const EquivOptions &Opts, verify::Report &R) {
+/// Module-level preconditions computed lazily and shared by every
+/// function comparison of one proveEquivalent call.
+struct ModuleContext {
+  const MModule &BM;
+  const MModule &VM;
+  int LivenessOk = -1; ///< -1 unknown, else 0/1.
+
+  /// Non-identity callee-saved renamings are only sound when neither
+  /// module reads EBX/ESI/EDI before defining them (RegLiveness): the
+  /// renamed registers' entry values are then provably dead, so
+  /// "variant pi(r) plays baseline r's role" holds from function entry
+  /// even though the caller loaded different values into them.
+  bool livenessOk() {
+    if (LivenessOk < 0)
+      LivenessOk =
+          analyzeModule(BM, AnalysisOptions::only(CheckerKind::RegLiveness))
+              .ok() &&
+          analyzeModule(VM, AnalysisOptions::only(CheckerKind::RegLiveness))
+              .ok();
+    return LivenessOk == 1;
+  }
+};
+
+/// Compares every corresponding block pair of \p BF / \p VF under the
+/// callee-saved renaming \p Pi (variant register Pi[r] plays baseline
+/// r's role; caller-saved registers are always fixed points). On
+/// refutation or abort, appends exactly one diagnostic to \p R.
+Verdict compareBlocks(const MModule &BM, const MFunction &BF,
+                      const MModule &VM, const MFunction &VF,
+                      const EquivOptions &Opts, uint32_t Shift,
+                      const std::array<uint8_t, x86::NumRegs> &Pi,
+                      verify::Report &R) {
   using verify::ErrorCode;
   auto Refute = [&](std::string Context) {
     R.add(ErrorCode::EquivRefuted, std::move(Context));
     return Verdict::Refuted;
   };
 
-  // Prologue and epilogue are emitted from function metadata, so
-  // metadata equality is the symbolic equality of those implicit
-  // instruction sequences (frame allocation, callee-saved saves).
-  if (BF.Name != VF.Name || BF.NumParams != VF.NumParams)
-    return Refute(format("%s: function signature differs from baseline "
-                         "(%s/%u params vs %s/%u params)",
-                         BF.Name.c_str(), VF.Name.c_str(), VF.NumParams,
-                         BF.Name.c_str(), BF.NumParams));
-  if (BF.FrameBytes != VF.FrameBytes ||
-      BF.ValueSlotsLowDisp != VF.ValueSlotsLowDisp)
-    return Refute(format("%s: frame layout differs from baseline "
-                         "(%u bytes, low disp %d vs %u bytes, low disp "
-                         "%d)",
-                         BF.Name.c_str(), VF.FrameBytes,
-                         VF.ValueSlotsLowDisp, BF.FrameBytes,
-                         BF.ValueSlotsLowDisp));
-  if (BF.UsesEbx != VF.UsesEbx || BF.UsesEsi != VF.UsesEsi ||
-      BF.UsesEdi != VF.UsesEdi)
-    return Refute(format("%s: callee-saved register set differs from "
-                         "baseline",
-                         BF.Name.c_str()));
+  // Inverse renaming: which baseline register's entry value each
+  // variant physical register carries.
+  std::array<uint8_t, x86::NumRegs> InvPi;
+  for (unsigned Rn = 0; Rn != x86::NumRegs; ++Rn)
+    InvPi[Pi[Rn]] = static_cast<uint8_t>(Rn);
 
   Arena A(Opts.MaxTermsPerFunction);
-
-  // Block correspondence under the layout permutation: identity, or a
-  // proven two-block shift prelude mapping baseline i to variant i+2.
-  uint32_t Shift = 0;
-  if (VF.Blocks.size() == BF.Blocks.size() + 2 &&
-      provenShiftPrelude(VM, VF, A)) {
-    Shift = 2;
-  } else if (VF.Blocks.size() != BF.Blocks.size()) {
-    return Refute(format("%s: %zu blocks do not correspond to baseline's "
-                         "%zu (no provable shift prelude)",
-                         BF.Name.c_str(), VF.Blocks.size(),
-                         BF.Blocks.size()));
-  }
 
   for (uint32_t BI = 0; BI != BF.Blocks.size(); ++BI) {
     uint32_t VI = BI + Shift;
     BlockExec EB = execBlock(BM, BF.Blocks[BI], BF.Blocks.size(), A);
-    BlockExec EV = execBlock(VM, VF.Blocks[VI], VF.Blocks.size(), A);
+    BlockExec EV =
+        execBlock(VM, VF.Blocks[VI], VF.Blocks.size(), A, &InvPi);
     if (A.overflowed()) {
       R.add(ErrorCode::EquivAborted,
             format("%s: mbb%u: term budget exhausted; no verdict",
@@ -703,15 +710,49 @@ Verdict compareFunction(const MModule &BM, const MFunction &BF,
               : format("%s: mbb%u", BF.Name.c_str(), VI);
 
     // 1. The effect traces, position by position; the first mismatch is
-    // the counterexample.
+    // the counterexample. One relaxation for schedule randomization:
+    // loads have no side effect and carry no epoch of their own, so a
+    // maximal run of read events (the reads between two consecutive
+    // barriers) matches as a multiset -- same length, same elements,
+    // any order. Everything else stays strictly positional, keeping
+    // write/call/div ordering intact.
     size_t Common = std::min(EB.Events.size(), EV.Events.size());
-    for (size_t E = 0; E != Common; ++E)
-      if (!EB.Events[E].sameAs(EV.Events[E]))
-        return Refute(
-            instrLocation(VF, VI, EV.Events[E].SrcInstr) +
-            format(": effect #%zu differs from baseline: ", E) +
-            eventStr(A, EV.Events[E]) + " vs " +
-            eventStr(A, EB.Events[E]));
+    auto IsRead = [](const Event &Ev) {
+      return Ev.Kind == Event::K::Load || Ev.Kind == Event::K::FrameLoad;
+    };
+    for (size_t E = 0; E != Common;) {
+      if (EB.Events[E].sameAs(EV.Events[E])) {
+        ++E;
+        continue;
+      }
+      size_t RB = E, RV = E;
+      while (RB != EB.Events.size() && IsRead(EB.Events[RB]))
+        ++RB;
+      while (RV != EV.Events.size() && IsRead(EV.Events[RV]))
+        ++RV;
+      bool RunsMatch = RB != E && RB - E == RV - E;
+      if (RunsMatch) {
+        std::vector<bool> Used(RB - E, false);
+        for (size_t V = E; V != RV && RunsMatch; ++V) {
+          RunsMatch = false;
+          for (size_t B = E; B != RB; ++B)
+            if (!Used[B - E] && EV.Events[V].sameAs(EB.Events[B])) {
+              Used[B - E] = true;
+              RunsMatch = true;
+              break;
+            }
+        }
+      }
+      if (RunsMatch) {
+        E = RB;
+        continue;
+      }
+      return Refute(
+          instrLocation(VF, VI, EV.Events[E].SrcInstr) +
+          format(": effect #%zu differs from baseline: ", E) +
+          eventStr(A, EV.Events[E]) + " vs " +
+          eventStr(A, EB.Events[E]));
+    }
     if (EV.Events.size() > EB.Events.size()) {
       const Event &E = EV.Events[Common];
       return Refute(instrLocation(VF, VI, E.SrcInstr) +
@@ -803,13 +844,14 @@ Verdict compareFunction(const MModule &BM, const MFunction &BF,
 
     // 5. Exit register environment: all eight, conservatively -- a
     // value dead at block exit still refutes, which over-rejects only
-    // modules no PGSD transform produces.
+    // modules no PGSD transform produces. Variant Pi[Rn] plays
+    // baseline Rn's role.
     for (unsigned Rn = 0; Rn != x86::NumRegs; ++Rn)
-      if (EB.Regs[Rn] != EV.Regs[Rn])
+      if (EB.Regs[Rn] != EV.Regs[Pi[Rn]])
         return Refute(BlockLoc +
                       format(": register %s exits the block as ",
                              x86::regName(static_cast<Reg>(Rn))) +
-                      termStr(A, EV.Regs[Rn]) + "; baseline has " +
+                      termStr(A, EV.Regs[Pi[Rn]]) + "; baseline has " +
                       termStr(A, EB.Regs[Rn]));
 
     // 6. Exit stack: depth and contents.
@@ -827,6 +869,124 @@ Verdict compareFunction(const MModule &BM, const MFunction &BF,
                     termStr(A, EB.Flags));
   }
   return Verdict::Proved;
+}
+
+/// Compares one function pair; on refutation or abort, appends exactly
+/// one diagnostic to \p R and returns. \p BM / \p VM are the enclosing
+/// modules (call-target argument counts).
+Verdict compareFunction(const MModule &BM, const MFunction &BF,
+                        const MModule &VM, const MFunction &VF,
+                        const EquivOptions &Opts, ModuleContext &Ctx,
+                        verify::Report &R) {
+  using verify::ErrorCode;
+  auto Refute = [&](std::string Context) {
+    R.add(ErrorCode::EquivRefuted, std::move(Context));
+    return Verdict::Refuted;
+  };
+
+  // Prologue and epilogue are emitted from function metadata, so
+  // metadata equality is the symbolic equality of those implicit
+  // instruction sequences (frame allocation, callee-saved saves).
+  if (BF.Name != VF.Name || BF.NumParams != VF.NumParams)
+    return Refute(format("%s: function signature differs from baseline "
+                         "(%s/%u params vs %s/%u params)",
+                         BF.Name.c_str(), VF.Name.c_str(), VF.NumParams,
+                         BF.Name.c_str(), BF.NumParams));
+  if (BF.FrameBytes != VF.FrameBytes ||
+      BF.ValueSlotsLowDisp != VF.ValueSlotsLowDisp)
+    return Refute(format("%s: frame layout differs from baseline "
+                         "(%u bytes, low disp %d vs %u bytes, low disp "
+                         "%d)",
+                         BF.Name.c_str(), VF.FrameBytes,
+                         VF.ValueSlotsLowDisp, BF.FrameBytes,
+                         BF.ValueSlotsLowDisp));
+
+  // Block correspondence under the layout permutation: identity, or a
+  // proven two-block shift prelude mapping baseline i to variant i+2.
+  // The prelude touches no registers, so recognition is independent of
+  // any callee-saved renaming.
+  uint32_t Shift = 0;
+  if (VF.Blocks.size() == BF.Blocks.size() + 2) {
+    Arena PreA(Opts.MaxTermsPerFunction);
+    if (provenShiftPrelude(VM, VF, PreA))
+      Shift = 2;
+  }
+  if (Shift == 0 && VF.Blocks.size() != BF.Blocks.size())
+    return Refute(format("%s: %zu blocks do not correspond to baseline's "
+                         "%zu (no provable shift prelude)",
+                         BF.Name.c_str(), VF.Blocks.size(),
+                         BF.Blocks.size()));
+
+  // Candidate renamings pi of the cdecl callee-saved class {EBX, ESI,
+  // EDI}: register shuffling renames whole live ranges, so the variant
+  // is compared with pi(r) playing baseline r's role. The save set
+  // must follow the renaming -- pi(r) saved exactly when baseline
+  // saves r -- which is also what keeps the emitted prologue/epilogue
+  // contract intact. Identity is enumerated first so unrenamed
+  // variants keep refuting with the counterexample they always have.
+  static constexpr uint8_t Saved[3] = {3, 6, 7};
+  static constexpr uint8_t Perms[6][3] = {
+      {3, 6, 7}, {3, 7, 6}, {6, 3, 7}, {6, 7, 3}, {7, 3, 6}, {7, 6, 3},
+  };
+  auto UsedIn = [](const MFunction &F, uint8_t Rn) {
+    return Rn == 3 ? F.UsesEbx : (Rn == 6 ? F.UsesEsi : F.UsesEdi);
+  };
+  // A function pair that never touches a callee-saved register
+  // compares identically under every renaming; only identity is worth
+  // trying (and the liveness precondition need not be computed).
+  auto TouchesSaved = [](const MFunction &F) {
+    for (const MBasicBlock &BB : F.Blocks)
+      for (const MInstr &I : BB.Instrs) {
+        unsigned D = x86::regNum(I.Dst), S = x86::regNum(I.Src);
+        if (D == 3 || D == 6 || D == 7 || S == 3 || S == 6 || S == 7)
+          return true;
+      }
+    return false;
+  };
+  bool OnlyIdentity = !TouchesSaved(BF) && !TouchesSaved(VF);
+
+  bool HaveFirst = false;
+  verify::Report First;
+  for (const auto &P : Perms) {
+    bool Identity = P[0] == 3 && P[1] == 6 && P[2] == 7;
+    bool MetaOk = true;
+    for (unsigned J = 0; J != 3; ++J)
+      MetaOk = MetaOk && UsedIn(VF, P[J]) == UsedIn(BF, Saved[J]);
+    if (!MetaOk)
+      continue;
+    if (!Identity && (OnlyIdentity || !Ctx.livenessOk()))
+      continue;
+    std::array<uint8_t, x86::NumRegs> Pi;
+    for (unsigned Rn = 0; Rn != x86::NumRegs; ++Rn)
+      Pi[Rn] = static_cast<uint8_t>(Rn);
+    Pi[3] = P[0];
+    Pi[6] = P[1];
+    Pi[7] = P[2];
+    verify::Report Sub;
+    Verdict V = compareBlocks(BM, BF, VM, VF, Opts, Shift, Pi, Sub);
+    if (V == Verdict::Proved)
+      return Verdict::Proved;
+    if (V == Verdict::Aborted) {
+      R.merge(Sub);
+      return Verdict::Aborted;
+    }
+    if (!HaveFirst) {
+      First = std::move(Sub);
+      HaveFirst = true;
+    }
+  }
+  if (!HaveFirst)
+    // No renaming is compatible with the two save sets (or the sound
+    // ones were filtered); the metadata itself is the counterexample.
+    return Refute(format("%s: callee-saved register set differs from "
+                         "baseline",
+                         BF.Name.c_str()));
+
+  // Every compatible renaming refuted; surface the first candidate's
+  // counterexample (identity when the save sets match), keeping the
+  // choice deterministic.
+  R.merge(First);
+  return Verdict::Refuted;
 }
 
 /// Bucket bounds for the per-function proof-time histogram (seconds).
@@ -876,6 +1036,7 @@ verify::Report analysis::proveEquivalent(const MModule &Baseline,
   }
 
   if (R.ok()) {
+    ModuleContext Ctx{Baseline, Variant};
     for (size_t F = 0; F != Baseline.Functions.size(); ++F) {
       if (R.Diags.size() >= Opts.MaxDiagnostics)
         break;
@@ -884,8 +1045,9 @@ verify::Report analysis::proveEquivalent(const MModule &Baseline,
         T0 = std::chrono::duration<double>(
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count();
-      Verdict V = compareFunction(Baseline, Baseline.Functions[F],
-                                  Variant, Variant.Functions[F], Opts, R);
+      Verdict V =
+          compareFunction(Baseline, Baseline.Functions[F], Variant,
+                          Variant.Functions[F], Opts, Ctx, R);
       if (Timed) {
         double T1 = std::chrono::duration<double>(
                         std::chrono::steady_clock::now()

@@ -17,6 +17,7 @@
 #include "analysis/Dataflow.h"
 #include "support/Rng.h"
 
+#include <array>
 #include <cstdio>
 
 using namespace pgsd;
@@ -216,6 +217,76 @@ std::vector<Site> sitesFrameEscape(const MModule &M) {
   return Sites;
 }
 
+std::vector<Site> sitesIllegalReorder(const MModule &M) {
+  // A StoreFrame at K whose value is read back by a LoadFrame at J
+  // (same displacement, no intervening store to it): hoisting the load
+  // above the store reorders across a true memory dependence, so the
+  // variant's effect trace shows the load before the store while the
+  // baseline's shows the opposite -- a guaranteed positional mismatch
+  // the prover's read-run commutation cannot (and must not) absorb.
+  // Shape carries J.
+  std::vector<Site> Sites;
+  for (uint32_t F = 0; F != M.Functions.size(); ++F)
+    for (uint32_t B = 0; B != M.Functions[F].Blocks.size(); ++B) {
+      const MBasicBlock &BB = M.Functions[F].Blocks[B];
+      for (uint32_t K = 0; K != BB.Instrs.size(); ++K) {
+        if (BB.Instrs[K].Op != MOp::StoreFrame)
+          continue;
+        for (uint32_t J = K + 1; J != BB.Instrs.size(); ++J) {
+          const MInstr &N = BB.Instrs[J];
+          if (N.Op == MOp::StoreFrame && N.Imm == BB.Instrs[K].Imm)
+            break;
+          if (N.Op == MOp::Jmp || N.Op == MOp::Jcc || N.Op == MOp::Ret)
+            break;
+          if (N.Op == MOp::LoadFrame && N.Imm == BB.Instrs[K].Imm) {
+            Sites.push_back({F, B, K, J});
+            break;
+          }
+        }
+      }
+    }
+  return Sites;
+}
+
+std::vector<Site> sitesLiveRangeSwap(const MModule &M) {
+  // A StoreFrame at K whose source register r was last defined in-block
+  // by a value-producing instruction (not a plain copy or pop): rewrite
+  // the store to read a register s that is untouched so far in the
+  // block. The variant's store event then carries the entry symbol of
+  // s where the baseline carries r's computed term -- different term
+  // kinds, so the mismatch survives every callee-saved renaming the
+  // prover may try. Shape carries s's register number.
+  std::vector<Site> Sites;
+  for (uint32_t F = 0; F != M.Functions.size(); ++F)
+    for (uint32_t B = 0; B != M.Functions[F].Blocks.size(); ++B) {
+      const MBasicBlock &BB = M.Functions[F].Blocks[B];
+      uint8_t Written = 0;
+      std::array<MOp, x86::NumRegs> LastDef;
+      LastDef.fill(MOp::Nop);
+      for (uint32_t K = 0; K != BB.Instrs.size(); ++K) {
+        const MInstr &I = BB.Instrs[K];
+        if (I.Op == MOp::StoreFrame) {
+          unsigned Rn = x86::regNum(I.Src);
+          if ((Written & (1u << Rn)) && LastDef[Rn] != MOp::MovRR &&
+              LastDef[Rn] != MOp::Pop)
+            for (unsigned Sn = 0; Sn != x86::NumRegs; ++Sn) {
+              if (Sn == Rn || Sn == x86::regNum(Reg::ESP) ||
+                  Sn == x86::regNum(Reg::EBP) ||
+                  (Written & (1u << Sn)))
+                continue;
+              Sites.push_back({F, B, K, Sn});
+              break;
+            }
+        }
+        forEachWrittenReg(I, [&](Reg W) {
+          Written |= static_cast<uint8_t>(1u << x86::regNum(W));
+          LastDef[x86::regNum(W)] = I.Op;
+        });
+      }
+    }
+  return Sites;
+}
+
 std::vector<Site> sitesCallContractBreak(const MModule &M) {
   std::vector<Site> Sites;
   LiveDomain Dom;
@@ -263,6 +334,10 @@ const char *analysis::mirFaultClassName(MirFaultClass C) {
     return "frame-escape";
   case MirFaultClass::CallContractBreak:
     return "call-contract-break";
+  case MirFaultClass::IllegalReorder:
+    return "illegal-reorder";
+  case MirFaultClass::LiveRangeSwap:
+    return "live-range-swap";
   }
   return "<bad>";
 }
@@ -292,6 +367,12 @@ bool analysis::injectMirFault(MModule &M, MirFaultClass C, uint64_t Seed,
     break;
   case MirFaultClass::CallContractBreak:
     Sites = sitesCallContractBreak(M);
+    break;
+  case MirFaultClass::IllegalReorder:
+    Sites = sitesIllegalReorder(M);
+    break;
+  case MirFaultClass::LiveRangeSwap:
+    Sites = sitesLiveRangeSwap(M);
     break;
   }
   if (Sites.empty())
@@ -362,6 +443,17 @@ bool analysis::injectMirFault(MModule &M, MirFaultClass C, uint64_t Seed,
       Instrs.insert(Instrs.begin() + S.Instr + 1, Read);
       describe(Desc, M, S, "read caller-saved ecx after call");
     }
+    break;
+  case MirFaultClass::IllegalReorder: {
+    MInstr Ld = Instrs[S.Shape];
+    Instrs.erase(Instrs.begin() + S.Shape);
+    Instrs.insert(Instrs.begin() + S.Instr, Ld);
+    describe(Desc, M, S, "hoisted frame load above its store");
+    break;
+  }
+  case MirFaultClass::LiveRangeSwap:
+    Instrs[S.Instr].Src = static_cast<Reg>(S.Shape);
+    describe(Desc, M, S, "swapped stored value to a conflicting register");
     break;
   }
   return true;

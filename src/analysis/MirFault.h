@@ -44,15 +44,32 @@ enum class MirFaultClass : uint8_t {
   FrameEscape,       ///< Redirect a frame access outside its region.
   CallContractBreak, ///< Delete the cdq before an idiv, or read a
                      ///< caller-saved register right after a call.
+
+  // Classes past this point model buggy *diversifying transforms*
+  // rather than buggy codegen: they have no paired checker and are
+  // caught by the equivalence prover (or differential execution).
+  IllegalReorder,    ///< Hoist a frame load above the frame store that
+                     ///< feeds it -- a scheduler reorder across a
+                     ///< memory dependence.
+  LiveRangeSwap,     ///< Rewrite one stored value to come from a
+                     ///< different register -- a register swap that
+                     ///< crosses a live range.
 };
 
-/// Number of fault classes (for sweep loops).
+/// Number of checker-aligned fault classes (for sweep loops pairing
+/// class C with checker C; the transform-bug classes are excluded).
 inline constexpr unsigned NumMirFaultClasses = 6;
+
+/// Number of fault classes including the transform-bug classes, which
+/// only the equivalence prover / dynamic verifier can catch.
+inline constexpr unsigned NumAllMirFaultClasses = 8;
 
 /// Returns a stable kebab-case name ("flag-clobber", ...).
 const char *mirFaultClassName(MirFaultClass C);
 
 /// Returns the checker whose diagnostic code class \p C must trigger.
+/// Meaningful only for the first NumMirFaultClasses classes; the
+/// transform-bug classes have no paired checker.
 CheckerKind mirFaultTargetChecker(MirFaultClass C);
 
 /// Mutates \p M with one seeded fault of class \p C. Returns true when

@@ -1,0 +1,85 @@
+//===-- diversity/RegShuffle.cpp - Register-allocation shuffling -----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "diversity/RegShuffle.h"
+
+#include "analysis/Analysis.h"
+
+#include <array>
+#include <cassert>
+
+using namespace pgsd;
+using namespace pgsd::diversity;
+using namespace pgsd::mir;
+
+namespace {
+
+// Permutations of {EBX, ESI, EDI} as (pi(ebx), pi(esi), pi(edi))
+// register-number triples, identity first so index 0 is always the
+// no-op draw.
+constexpr uint8_t AllPerms[6][3] = {
+    {3, 6, 7}, {3, 7, 6}, {6, 3, 7}, {6, 7, 3}, {7, 3, 6}, {7, 6, 3},
+};
+// With EBX pinned (8-bit subregister live range), only ESI/EDI move.
+constexpr uint8_t PinnedPerms[2][3] = {{3, 6, 7}, {3, 7, 6}};
+
+} // namespace
+
+RegShuffleStats diversity::shuffleRegisters(MModule &M, Rng &Generator) {
+  RegShuffleStats Stats;
+  for (MFunction &F : M.Functions) {
+    ++Stats.FunctionsConsidered;
+
+    // A Setcc destination or Movzx8 source needs a low byte; on IA-32
+    // ESI/EDI have none, so an EBX live range carrying one cannot move.
+    bool PinEbx = false;
+    for (const MBasicBlock &BB : F.Blocks)
+      for (const MInstr &I : BB.Instrs)
+        if ((I.Op == MOp::Setcc && I.Dst == x86::Reg::EBX) ||
+            (I.Op == MOp::Movzx8 && I.Src == x86::Reg::EBX))
+          PinEbx = true;
+
+    const uint8_t(*Perms)[3] = PinEbx ? PinnedPerms : AllPerms;
+    size_t NumPerms = PinEbx ? 2 : 6;
+    size_t Pick = static_cast<size_t>(Generator.nextBelow(NumPerms));
+    if (Pick == 0)
+      continue; // identity draw
+
+    std::array<x86::Reg, x86::NumRegs> Map;
+    for (unsigned R = 0; R != x86::NumRegs; ++R)
+      Map[R] = static_cast<x86::Reg>(R);
+    Map[3] = static_cast<x86::Reg>(Perms[Pick][0]);
+    Map[6] = static_cast<x86::Reg>(Perms[Pick][1]);
+    Map[7] = static_cast<x86::Reg>(Perms[Pick][2]);
+
+    for (MBasicBlock &BB : F.Blocks)
+      for (MInstr &I : BB.Instrs) {
+        I.Dst = Map[x86::regNum(I.Dst)];
+        I.Src = Map[x86::regNum(I.Src)];
+      }
+
+    // The prologue/epilogue save set follows the renaming, so the
+    // callee-saved contract holds for exactly the registers now in use.
+    bool Uses[x86::NumRegs] = {};
+    Uses[x86::regNum(Map[3])] = F.UsesEbx;
+    Uses[x86::regNum(Map[6])] = F.UsesEsi;
+    Uses[x86::regNum(Map[7])] = F.UsesEdi;
+    F.UsesEbx = Uses[3];
+    F.UsesEsi = Uses[6];
+    F.UsesEdi = Uses[7];
+
+    ++Stats.FunctionsShuffled;
+    for (unsigned R : {3u, 6u, 7u})
+      if (x86::regNum(Map[R]) != R)
+        ++Stats.RegsRemapped;
+  }
+  assert(mir::verify(M).empty() &&
+         "register shuffling broke the module");
+  assert(analysis::checkEflags(M).ok() &&
+         "register shuffling broke a flag def-use chain");
+  return Stats;
+}

@@ -1,0 +1,75 @@
+//===-- diversity/Sched.h - Schedule randomization ---------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Schedule randomization: permute the instructions of each basic block
+/// among the orders the dependence relation proves legal, in the spirit
+/// of the multicompiler's -sched-randomize. The transform touches only
+/// the block body (everything before the trailing branch group) and
+/// derives its legality edges from the same analyses the static checkers
+/// trust:
+///
+///  * register def-use/use-def/def-def chains via
+///    analysis::forEachReadReg / forEachWrittenReg (implicit operands
+///    included, so cdq/idiv/shift-by-cl ordering is preserved);
+///  * EFLAGS: every flag definer/clobberer (analysis::flagEffect) is
+///    totally ordered against the others, and Setcc consumers are pinned
+///    between their producer and the next clobber;
+///  * memory and effect order: every event-producing non-read operation
+///    (Store, StoreFrame, Call, Idiv, ProfInc) is a barrier, totally
+///    ordered against the other barriers and against every memory read
+///    (Load, LoadFrame). Reads may therefore only commute with adjacent
+///    reads in the same store epoch -- exactly the reordering the
+///    equivalence prover (analysis/Equiv.h) admits;
+///  * stack traffic (Push, PushI, Pop, AdjustSP, Call) forms a chain, so
+///    argument setup never drifts across its call;
+///  * a cdq..idiv pair (with any interleaved NOPs) is fused into one
+///    atomic group, preserving the CallConv checker's adjacency rule.
+///
+/// The per-block decision to randomize is profile-gated through the
+/// paper's hot/cold budget (diversity::nopProbability): hot blocks keep
+/// their scheduler-chosen order with probability 1 - pNOP(count), cold
+/// blocks are reordered aggressively. A legal schedule never changes the
+/// instruction count, so the budget here bounds *placement* entropy
+/// churn in hot code paths rather than execution overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_DIVERSITY_SCHED_H
+#define PGSD_DIVERSITY_SCHED_H
+
+#include "diversity/NopInsertion.h"
+#include "lir/MIR.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace pgsd {
+namespace diversity {
+
+/// Counters reported by one run of the scheduler.
+struct SchedStats {
+  /// Blocks with at least two schedulable nodes in the body.
+  uint64_t BlocksConsidered = 0;
+  /// Blocks whose emitted order differs from the original.
+  uint64_t BlocksRandomized = 0;
+  /// Instructions whose position within their block changed.
+  uint64_t InstrsPermuted = 0;
+};
+
+/// Randomizes the intra-block schedule of every function of \p M in
+/// place, drawing randomness from \p Generator. Legal orders are
+/// enumerated by a random topological sort of the dependence DAG; the
+/// result verifies (mir::verify), keeps every flag def-use chain intact
+/// (analysis::checkEflags), and is provable by the equivalence prover.
+SchedStats randomizeSchedule(mir::MModule &M, const DiversityOptions &Opts,
+                             Rng &Generator);
+
+} // namespace diversity
+} // namespace pgsd
+
+#endif // PGSD_DIVERSITY_SCHED_H

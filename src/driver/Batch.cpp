@@ -19,6 +19,14 @@ BatchResult driver::makeVariantsBatch(const Program &P,
                                       const diversity::DiversityOptions &Opts,
                                       const std::vector<uint64_t> &Seeds,
                                       const BatchOptions &BOpts) {
+  return makeVariantsBatch(P, diversity::Pipeline(), Opts, Seeds, BOpts);
+}
+
+BatchResult driver::makeVariantsBatch(const Program &P,
+                                      const diversity::Pipeline &Pipe,
+                                      const diversity::DiversityOptions &Opts,
+                                      const std::vector<uint64_t> &Seeds,
+                                      const BatchOptions &BOpts) {
   BatchResult R;
   R.Jobs = BOpts.Jobs == 0 ? support::ThreadPool::defaultConcurrency()
                            : BOpts.Jobs;
@@ -54,7 +62,7 @@ BatchResult driver::makeVariantsBatch(const Program &P,
     obs::ScopedSink Route(Obs ? &Sinks[I] : nullptr);
     obs::Span S(Obs ? "batch.seed" : nullptr);
     R.Variants[I] =
-        makeVariantVerified(P, Opts, Seeds[I], Verify, BOpts.Link);
+        makeVariantVerified(P, Pipe, Opts, Seeds[I], Verify, BOpts.Link);
   };
 
   {

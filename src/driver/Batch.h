@@ -98,6 +98,15 @@ BatchResult makeVariantsBatch(const Program &P,
                               const std::vector<uint64_t> &Seeds,
                               const BatchOptions &BOpts = BatchOptions());
 
+/// makeVariantsBatch under transform pipeline \p Pipe. Each variant is
+/// a pure function of (P, Pipe, Opts, its seed), so the Jobs-
+/// independence determinism contract holds for every pipeline.
+BatchResult makeVariantsBatch(const Program &P,
+                              const diversity::Pipeline &Pipe,
+                              const diversity::DiversityOptions &Opts,
+                              const std::vector<uint64_t> &Seeds,
+                              const BatchOptions &BOpts = BatchOptions());
+
 } // namespace driver
 } // namespace pgsd
 

@@ -85,19 +85,31 @@ bool driver::profileAndStamp(Program &P,
 }
 
 Variant driver::makeVariant(const Program &P,
+                            const diversity::Pipeline &Pipe,
                             const diversity::DiversityOptions &Opts,
                             uint64_t Seed,
                             const codegen::LinkOptions &Link) {
   Variant V;
   {
     obs::Span S("pipeline.diversify");
-    V.MIR = diversity::makeVariant(P.MIR, Opts, Seed, &V.Stats);
+    V.MIR = P.MIR;
+    V.Pipeline = Pipe.run(V.MIR, Opts, Seed);
+    V.Stats = V.Pipeline.Nop;
   }
   {
     obs::Span S("pipeline.emit");
     V.Image = codegen::link(V.MIR, Link);
   }
   return V;
+}
+
+Variant driver::makeVariant(const Program &P,
+                            const diversity::DiversityOptions &Opts,
+                            uint64_t Seed,
+                            const codegen::LinkOptions &Link) {
+  // The default pipeline is {nop} drawing from Rng(Seed), which is
+  // diversity::makeVariant's historical stream byte-for-byte.
+  return makeVariant(P, diversity::Pipeline(), Opts, Seed, Link);
 }
 
 codegen::Image driver::linkBaseline(const Program &P,
@@ -121,9 +133,25 @@ driver::makeVariantVerified(const Program &P,
                             uint64_t Seed,
                             const verify::VerifyOptions &VOpts,
                             const codegen::LinkOptions &Link) {
+  return makeVariantVerified(P, diversity::Pipeline(), Opts, Seed, VOpts,
+                             Link);
+}
+
+VerifiedVariant
+driver::makeVariantVerified(const Program &P,
+                            const diversity::Pipeline &Pipe,
+                            const diversity::DiversityOptions &Opts,
+                            uint64_t Seed,
+                            const verify::VerifyOptions &VOpts,
+                            const codegen::LinkOptions &Link) {
   VerifiedVariant Out;
   verify::VerifyOptions Effective = VOpts;
   Effective.Link = Link;
+  // The structural diff only models NOP insertion and shift preludes;
+  // reordering/renaming pipelines are screened by the equivalence
+  // prover and differential execution instead.
+  Effective.CheckStructure =
+      VOpts.CheckStructure && Pipe.structurePreserving();
   // Every retry attempt diffs against the same baseline on the same
   // battery; share one baseline run cache across the whole retry loop
   // (unless the caller -- e.g. makeVariantsBatch -- already supplied a
@@ -139,7 +167,7 @@ driver::makeVariantVerified(const Program &P,
   while (!Schedule.exhausted()) {
     unsigned Attempt = Schedule.attemptsMade();
     uint64_t S = Schedule.next();
-    Variant V = makeVariant(P, Opts, S, Link);
+    Variant V = makeVariant(P, Pipe, Opts, S, Link);
     if (Effective.InjectFault)
       Effective.InjectFault(V.MIR, V.Image, S);
     // Static screening first: when the analyzer can refute the variant
@@ -195,6 +223,7 @@ driver::makeVariantVerified(const Program &P,
   Out.V.MIR = P.MIR;
   Out.V.Image = linkBaseline(P, Link);
   Out.V.Stats = diversity::InsertionStats();
+  Out.V.Pipeline = diversity::PipelineStats();
   Out.Report.add(verify::ErrorCode::RetriesExhausted,
                  "all " + std::to_string(Schedule.budget()) +
                      " attempts failed verification; emitting "

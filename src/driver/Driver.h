@@ -30,6 +30,7 @@
 
 #include "codegen/Linker.h"
 #include "diversity/NopInsertion.h"
+#include "diversity/Transform.h"
 #include "ir/IR.h"
 #include "lir/MIR.h"
 #include "mexec/Interp.h"
@@ -72,10 +73,21 @@ bool profileAndStamp(Program &P, const std::vector<int32_t> &TrainInput);
 struct Variant {
   mir::MModule MIR;
   codegen::Image Image;
+  /// NOP-insertion counters (the Nop slice of Pipeline, kept as a
+  /// separate field for the paper-era single-transform call sites).
   diversity::InsertionStats Stats;
+  /// Per-transform counters of the pipeline that produced this variant.
+  diversity::PipelineStats Pipeline;
 };
 
-/// Produces a diversified variant of \p P and links its image.
+/// Produces a diversified variant of \p P under transform pipeline
+/// \p Pipe and links its image.
+Variant makeVariant(const Program &P, const diversity::Pipeline &Pipe,
+                    const diversity::DiversityOptions &Opts, uint64_t Seed,
+                    const codegen::LinkOptions &Link = codegen::LinkOptions());
+
+/// Produces a diversified variant of \p P (NOP insertion only -- the
+/// default pipeline) and links its image.
 Variant makeVariant(const Program &P,
                     const diversity::DiversityOptions &Opts, uint64_t Seed,
                     const codegen::LinkOptions &Link = codegen::LinkOptions());
@@ -113,6 +125,21 @@ struct VerifiedVariant {
 /// binary plus a loud diagnostic over no binary at all.
 VerifiedVariant
 makeVariantVerified(const Program &P,
+                    const diversity::DiversityOptions &Opts, uint64_t Seed,
+                    const verify::VerifyOptions &VOpts =
+                        verify::VerifyOptions(),
+                    const codegen::LinkOptions &Link =
+                        codegen::LinkOptions());
+
+/// makeVariantVerified under transform pipeline \p Pipe. The verifier's
+/// NOP-only structural diff (VerifyOptions::CheckStructure) presumes the
+/// baseline's instruction sequence survives up to inserted NOPs and
+/// shift preludes; pipelines containing schedule randomization or
+/// register shuffling legitimately break that, so the check is disabled
+/// for them automatically (the equivalence prover and differential
+/// execution still run).
+VerifiedVariant
+makeVariantVerified(const Program &P, const diversity::Pipeline &Pipe,
                     const diversity::DiversityOptions &Opts, uint64_t Seed,
                     const verify::VerifyOptions &VOpts =
                         verify::VerifyOptions(),

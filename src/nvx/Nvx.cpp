@@ -171,7 +171,7 @@ NvxResult nvx::runLockstep(const driver::Program &P,
     while (!Schedule.exhausted()) {
       uint64_t S = Schedule.next();
       driver::VerifiedVariant VV = driver::makeVariantVerified(
-          P, Opts.Diversity, S, RespawnVerify, Opts.Link);
+          P, Opts.Pipeline, Opts.Diversity, S, RespawnVerify, Opts.Link);
       // Only a verified *diversified* replacement may join the quorum;
       // a baseline fallback would weaken the population it monitors.
       if (VV.ok() && installModule(Slot, std::move(VV.V.MIR), S)) {
@@ -196,8 +196,8 @@ NvxResult nvx::runLockstep(const driver::Program &P,
     BOpts.Jobs = Opts.Jobs;
     BOpts.Verify = Opts.Verify;
     BOpts.Link = Opts.Link;
-    driver::BatchResult Batch =
-        driver::makeVariantsBatch(P, Opts.Diversity, Seeds, BOpts);
+    driver::BatchResult Batch = driver::makeVariantsBatch(
+        P, Opts.Pipeline, Opts.Diversity, Seeds, BOpts);
     for (unsigned I = 0; I != K; ++I) {
       driver::VerifiedVariant &VV = Batch.Variants[I];
       if (VV.UsedFallback)

@@ -160,6 +160,10 @@ struct NvxOptions {
   /// Diversity configuration for every replica (and respawn).
   diversity::DiversityOptions Diversity;
 
+  /// Transform pipeline for every replica (and respawn); the default
+  /// is NOP insertion only.
+  diversity::Pipeline Pipeline;
+
   /// Verification configuration for spawn and respawn.
   verify::VerifyOptions Verify;
 

@@ -7,17 +7,23 @@
 // whole pipeline:
 //
 //   compile -> static analyzer -> diversify -> static analyzer again
-//           -> differential execution (baseline vs. every variant)
+//           -> translation validation -> differential execution
+//              (baseline vs. every variant)
 //
 // asserting no crashes, analyzer-clean baselines and variants (zero
-// false positives), and baseline/variant output equality. Every failure
-// carries its seed and full source via SCOPED_TRACE, so a red run
-// reproduces from the printed seed alone.
+// false positives), and baseline/variant output equality. Each seed
+// additionally drives a seed-derived random subset of the composable
+// transform pipeline (nop/shift/sched/regs), so generated programs
+// exercise schedule randomization and register shuffling too. Every
+// failure carries its seed and full source via SCOPED_TRACE, so a red
+// run reproduces from the printed seed alone.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analysis.h"
+#include "analysis/Equiv.h"
 #include "diversity/NopInsertion.h"
+#include "diversity/Transform.h"
 #include "driver/Driver.h"
 #include "support/Rng.h"
 
@@ -91,6 +97,32 @@ TEST_P(FuzzMiniCTest, PipelineIsSoundOnGeneratedPrograms) {
     EXPECT_TRUE(RS.ok()) << RS.str();
     EXPECT_EQ(observe(V, Input), Reference)
         << "block-shifted variant diverged";
+  }
+
+  // Composable pipeline: a seed-derived nonempty random subset of the
+  // four transforms, in canonical order, through analyzer, translation
+  // validator, and differential execution. Across the 200 seeds this
+  // covers every subset many times over.
+  {
+    Rng Picker(Seed ^ 0x7a5f00d5ull);
+    unsigned Mask = 1 + static_cast<unsigned>(Picker.nextBelow(15));
+    std::vector<diversity::TransformKind> Kinds;
+    for (unsigned K = 0; K != diversity::NumTransformKinds; ++K)
+      if (Mask & (1u << K))
+        Kinds.push_back(static_cast<diversity::TransformKind>(K));
+    diversity::Pipeline Pipe(Kinds);
+    SCOPED_TRACE("pipeline " + Pipe.label());
+
+    mir::MModule V = P.MIR;
+    Pipe.run(V, diversity::DiversityOptions::profiled(
+                    diversity::ProbabilityModel::Log, 0.0, 0.4),
+             Seed + 2);
+    verify::Report R = analysis::analyzeModule(V);
+    EXPECT_TRUE(R.ok()) << R.str();
+    verify::Report E = analysis::proveEquivalent(P.MIR, V);
+    EXPECT_TRUE(E.ok()) << E.str();
+    EXPECT_EQ(observe(V, Input), Reference)
+        << "pipeline variant diverged";
   }
 }
 

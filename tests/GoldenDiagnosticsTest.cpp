@@ -131,4 +131,60 @@ TEST(GoldenDiagnostics, PinnedEquivalenceCounterexamples) {
   }
 }
 
+// Spill-heavy fixture for the transform-bug classes: enough
+// simultaneously live values that locals round-trip through frame slots
+// inside one block, giving the illegal-reorder injector a store->load
+// dependence to break.
+const char *SpillFixtureSource = R"(
+fn mix(a, b, c, d) { return a * b + c * d; }
+fn main() {
+  var a = read_int(); var b = read_int();
+  var c = a * 3 + b; var d = b * 5 - a;
+  var e = mix(a, b, c, d);
+  var f = mix(d, c, b, a);
+  print_int(e + f + a * b * c * d);
+  return e - f;
+}
+)";
+
+// The new rejection messages of the composable pipeline era: a
+// scheduler reorder across a memory dependence refutes as a store
+// missing at the aligned trace position (the prover's read-run
+// commutation can absorb legal load reorderings, never a lost store),
+// and a live-range-violating register swap refutes as a stored value
+// naming the wrong symbolic source.
+TEST(GoldenDiagnostics, PinnedSchedulerDependenceViolation) {
+  driver::Program P =
+      driver::compileProgram(SpillFixtureSource, "golden.minic", true);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  mir::MModule Mutant = P.MIR;
+  std::string Desc;
+  ASSERT_TRUE(analysis::injectMirFault(
+      Mutant, MirFaultClass::IllegalReorder, 7, &Desc));
+  verify::Report R = analysis::proveEquivalent(P.MIR, Mutant);
+  ASSERT_FALSE(R.ok()) << Desc;
+  EXPECT_EQ(R.Diags.front().str(),
+            "[equiv-refuted] main: mbb0 #28 'mov ecx, [ebp-64]': effect "
+            "#7 differs from baseline: load [ebp-64] vs store [ebp-64] = "
+            "call#6.eax")
+      << Desc;
+}
+
+TEST(GoldenDiagnostics, PinnedRegallocContractViolation) {
+  driver::Program P =
+      driver::compileProgram(FixtureSource, "golden.minic", true);
+  ASSERT_TRUE(P.ok()) << P.errors();
+  mir::MModule Mutant = P.MIR;
+  std::string Desc;
+  ASSERT_TRUE(analysis::injectMirFault(
+      Mutant, MirFaultClass::LiveRangeSwap, 7, &Desc));
+  verify::Report R = analysis::proveEquivalent(P.MIR, Mutant);
+  ASSERT_FALSE(R.ok()) << Desc;
+  EXPECT_EQ(R.Diags.front().str(),
+            "[equiv-refuted] main: mbb0 #1 'mov [ebp-8], ebx': effect #1 "
+            "differs from baseline: store [ebp-8] = ebx@entry vs store "
+            "[ebp-8] = call#0.eax")
+      << Desc;
+}
+
 } // namespace

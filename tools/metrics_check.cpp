@@ -5,7 +5,7 @@
 //
 // Standalone validator for pgsd-metrics-v1 files:
 //
-//   metrics_check metrics.json [--batch] [--nvx] [--equiv]
+//   metrics_check metrics.json [--batch] [--nvx] [--equiv] [--transforms]
 //
 // Checks, in order:
 //  1. The file is syntactically valid JSON (obs::validateJson, the same
@@ -28,6 +28,13 @@
 //     equiv.modules_checked exactly, a clean run must report zero
 //     refuted and zero aborted modules, and the per-function proof-time
 //     histogram must be present.
+//  6. With --transforms (the file came from a run through the diversity
+//     pipeline, e.g. `pgsdc verify --transforms=... --metrics`): each
+//     transform family that ran must export its full diversity.<name>.*
+//     counter set, and the budget invariants must hold -- nops inserted
+//     cannot exceed candidate sites, blocks randomized cannot exceed
+//     blocks considered, functions shuffled cannot exceed functions
+//     considered.
 //
 // Exit 0 on success, 1 with a diagnostic on the first failed check.
 // Key lookups scan for the literal `"<key>": ` the deterministic obs
@@ -76,10 +83,10 @@ bool hasKey(const std::string &Text, const std::string &Key) {
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
     std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch] "
-                         "[--nvx] [--equiv]\n");
+                         "[--nvx] [--equiv] [--transforms]\n");
     return 1;
   }
-  bool Batch = false, Nvx = false, Equiv = false;
+  bool Batch = false, Nvx = false, Equiv = false, Transforms = false;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--batch") == 0)
       Batch = true;
@@ -87,6 +94,8 @@ int main(int Argc, char **Argv) {
       Nvx = true;
     else if (std::strcmp(Argv[I], "--equiv") == 0)
       Equiv = true;
+    else if (std::strcmp(Argv[I], "--transforms") == 0)
+      Transforms = true;
     else
       return fail(std::string("unknown option '") + Argv[I] + "'");
   }
@@ -257,6 +266,61 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Transforms) {
+    // Each transform exports its counter family as an all-or-nothing
+    // set; budget-gated quantities can never exceed their candidates.
+    // A metrics file may cover any pipeline subset, but at least one
+    // family must be present or --transforms was the wrong flag.
+    struct Family {
+      const char *Considered; ///< Counter for the candidate pool.
+      const char *Applied;    ///< Counter gated by the budget.
+      const char *Extra;      ///< Third family member (presence only).
+    };
+    const Family Families[] = {
+        {"diversity.nop.candidate_sites", "diversity.nop.inserted",
+         "diversity.nop.rejected"},
+        {"diversity.shift.functions_shifted",
+         "diversity.shift.padding_instrs", nullptr},
+        {"diversity.sched.blocks_considered",
+         "diversity.sched.blocks_randomized",
+         "diversity.sched.instrs_permuted"},
+        {"diversity.regs.functions_considered",
+         "diversity.regs.functions_shuffled",
+         "diversity.regs.regs_remapped"},
+    };
+    unsigned Present = 0;
+    for (const Family &F : Families) {
+      bool HasConsidered = hasKey(Text, F.Considered);
+      bool HasApplied = hasKey(Text, F.Applied);
+      bool HasExtra = !F.Extra || hasKey(Text, F.Extra);
+      if (!HasConsidered && !HasApplied)
+        continue;
+      if (!HasConsidered || !HasApplied || !HasExtra)
+        return fail(std::string("incomplete counter family for \"") +
+                    F.Considered + "\"");
+      ++Present;
+    }
+    if (Present == 0)
+      return fail("no diversity.<transform>.* counters present");
+
+    // shift's pair is (shifted functions, padding emitted) -- padding
+    // grows with functions, not the other way round -- so the budget
+    // ordering below applies to the other three families only.
+    const Family Ordered[] = {Families[0], Families[2], Families[3]};
+    for (const Family &F : Ordered) {
+      double Considered = 0, Applied = 0;
+      if (!findNumber(Text, F.Considered, Considered) ||
+          !findNumber(Text, F.Applied, Applied))
+        continue; // family absent; checked above
+      if (Applied > Considered) {
+        std::fprintf(stderr,
+                     "metrics_check: %s %.0f exceeds %s %.0f\n",
+                     F.Applied, Applied, F.Considered, Considered);
+        return 1;
+      }
+    }
+  }
+
   std::string Suffix;
   if (Batch)
     Suffix += " (batch invariants hold)";
@@ -264,6 +328,8 @@ int main(int Argc, char **Argv) {
     Suffix += " (nvx invariants hold)";
   if (Equiv)
     Suffix += " (equiv invariants hold)";
+  if (Transforms)
+    Suffix += " (transforms invariants hold)";
   std::printf("metrics_check: %s OK%s\n", Argv[1], Suffix.c_str());
   return 0;
 }

@@ -10,7 +10,7 @@
 //   pgsdc profile file.minic --input "train data" -o file.prof
 //   pgsdc diversify file.minic [--profile file.prof] [--seed N]
 //         [--pmin 0] [--pmax 30] [--model log|linear|uniform]
-//         [--xchg] [--block-shift]
+//         [--xchg] [--block-shift] [--transforms nop,shift,sched,regs]
 //   pgsdc verify file.minic [--seed N ...as above] [--retries N]
 //   pgsdc batch file.minic --seeds N [--jobs J] [--out-dir DIR]
 //         [--seed BASE ...as above]
@@ -34,6 +34,7 @@
 #include "analysis/Analysis.h"
 #include "analysis/Equiv.h"
 #include "diversity/NopInsertion.h"
+#include "diversity/Transform.h"
 #include "driver/Batch.h"
 #include "driver/Driver.h"
 #include "workloads/Workloads.h"
@@ -111,6 +112,11 @@ int usage() {
                "  --model M           log (default) | linear | uniform\n"
                "  --xchg              include the bus-locking XCHG NOPs\n"
                "  --block-shift       also insert entry pad blocks\n"
+               "  --transforms LIST   comma-separated transform pipeline\n"
+               "                      from {nop, shift, sched, regs},\n"
+               "                      applied in list order (diversify/\n"
+               "                      verify/batch/analyze/equiv/nvx;\n"
+               "                      default: nop)\n"
                "  --engine E          fast (default) | reference\n"
                "                      execution engine for run/verify/\n"
                "                      batch (bit-identical results)\n"
@@ -188,6 +194,8 @@ struct Options {
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
+  std::string Transforms;    ///< --transforms text; empty = legacy paths.
+  diversity::Pipeline Pipe;  ///< Parsed pipeline (default: nop only).
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -311,6 +319,24 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.TimeoutSeconds = std::strtod(V, nullptr);
+    } else if (Arg == "--transforms" ||
+               Arg.rfind("--transforms=", 0) == 0) {
+      const char *V;
+      if (Arg == "--transforms") {
+        V = Value();
+        if (!V)
+          return false;
+      } else {
+        V = Arg.c_str() + std::strlen("--transforms=");
+      }
+      std::vector<diversity::TransformKind> Kinds;
+      std::string Error;
+      if (!diversity::parseTransformList(V, Kinds, &Error)) {
+        std::fprintf(stderr, "pgsdc: --transforms: %s\n", Error.c_str());
+        return false;
+      }
+      Opts.Transforms = V;
+      Opts.Pipe = diversity::Pipeline(std::move(Kinds));
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -425,10 +451,91 @@ int cmdProfile(const Options &Opts) {
   return ExitOK;
 }
 
+/// Prints the per-transform stat lines of one pipeline run, in the
+/// pipeline's list order.
+void printPipelineStats(const diversity::Pipeline &Pipe,
+                        const diversity::PipelineStats &S) {
+  auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+  for (diversity::TransformKind K : Pipe.kinds()) {
+    switch (K) {
+    case diversity::TransformKind::Nop:
+      std::printf("  nop: %llu inserted at %llu candidate sites\n",
+                  U(S.Nop.NopsInserted), U(S.Nop.CandidateSites));
+      break;
+    case diversity::TransformKind::Shift:
+      std::printf("  shift: %llu pad instructions over %llu functions\n",
+                  U(S.Shift.PaddingInstrs), U(S.Shift.FunctionsShifted));
+      break;
+    case diversity::TransformKind::Sched:
+      std::printf("  sched: %llu instructions permuted in %llu of %llu "
+                  "blocks\n",
+                  U(S.Sched.InstrsPermuted), U(S.Sched.BlocksRandomized),
+                  U(S.Sched.BlocksConsidered));
+      break;
+    case diversity::TransformKind::Regs:
+      std::printf("  regs: %llu registers remapped in %llu of %llu "
+                  "functions\n",
+                  U(S.Regs.RegsRemapped), U(S.Regs.FunctionsShuffled),
+                  U(S.Regs.FunctionsConsidered));
+      break;
+    }
+  }
+}
+
+/// `diversify --transforms=...`: build the variant through the
+/// composable pipeline, report per-transform stats, then verify it.
+int cmdDiversifyPipeline(const Options &Opts, driver::Program &P) {
+  codegen::Image Base = driver::linkBaseline(P);
+  auto BaseGadgets =
+      gadget::scanGadgets(Base.Text.data(), Base.Text.size());
+  if (Opts.BlockShift)
+    std::fprintf(stderr, "pgsdc: note: --transforms supersedes "
+                         "--block-shift (use a 'shift' list entry)\n");
+
+  diversity::DiversityOptions D = diversityOptions(Opts);
+  mir::MModule V = P.MIR;
+  diversity::PipelineStats Stats = Opts.Pipe.run(V, D, Opts.Seed);
+  codegen::Image Img = codegen::link(V);
+  auto Survivors = gadget::survivingGadgets(Base.Text, Img.Text);
+
+  std::printf("config: %s transforms=%s seed=%llu%s\n", D.label().c_str(),
+              Opts.Pipe.label().c_str(),
+              static_cast<unsigned long long>(Opts.Seed),
+              P.HasProfile ? " (profile applied)" : " (no profile)");
+  printPipelineStats(Opts.Pipe, Stats);
+  std::printf(".text: %zu -> %zu bytes\n", Base.Text.size(),
+              Img.Text.size());
+  std::printf("gadgets: %zu baseline, %zu surviving at original offsets\n",
+              BaseGadgets.size(), Survivors.size());
+
+  verify::VerifyOptions VOpts;
+  VOpts.CheckStructure = Opts.Pipe.structurePreserving();
+  verify::Report Report = verify::verifyVariant(P.MIR, V, Img, VOpts);
+  if (!Report.ok()) {
+    std::fprintf(stderr, "pgsdc: variant failed verification:\n%s",
+                 Report.str().c_str());
+    return ExitVerifyFailed;
+  }
+
+  mexec::RunResult RBase =
+      driver::execute(P.MIR, parseInput(Opts.InputText));
+  mexec::RunResult RVar = driver::execute(V, parseInput(Opts.InputText));
+  if (!RBase.Trapped && !RVar.Trapped) {
+    std::printf("slowdown on given input: %+.2f%% (checksums %s)\n",
+                100.0 * (RVar.cycles() / RBase.cycles() - 1.0),
+                RBase.Checksum == RVar.Checksum ? "match" : "DIFFER");
+    if (RBase.Checksum != RVar.Checksum)
+      return ExitVerifyFailed;
+  }
+  return ExitOK;
+}
+
 int cmdDiversify(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
     return Err;
+  if (!Opts.Transforms.empty())
+    return cmdDiversifyPipeline(Opts, P);
   codegen::Image Base = driver::linkBaseline(P);
   auto BaseGadgets =
       gadget::scanGadgets(Base.Text.data(), Base.Text.size());
@@ -494,7 +601,7 @@ int cmdVerify(const Options &Opts) {
   VOpts.MaxAttempts = Opts.Retries;
   VOpts.Engine = Opts.Engine;
   driver::VerifiedVariant VV =
-      driver::makeVariantVerified(P, D, Opts.Seed, VOpts);
+      driver::makeVariantVerified(P, Opts.Pipe, D, Opts.Seed, VOpts);
   if (!VV.Report.ok())
     std::fprintf(stderr, "%s", VV.Report.str().c_str());
   if (!VV.ok()) {
@@ -509,6 +616,18 @@ int cmdVerify(const Options &Opts) {
     if (VV.Report.has(verify::ErrorCode::EquivRejected))
       return ExitEquivRefuted;
     return ExitVerifyFailed;
+  }
+  if (!Opts.Transforms.empty()) {
+    // Non-structure-preserving pipelines (sched, regs) run without the
+    // structural check, so the banner names only what actually ran.
+    std::printf("verified: %s transforms=%s seed=%llu attempts=%u "
+                "(differential, image%s checks passed)\n",
+                D.label().c_str(), Opts.Pipe.label().c_str(),
+                static_cast<unsigned long long>(VV.SeedUsed), VV.Attempts,
+                Opts.Pipe.structurePreserving() ? ", structural" : "");
+    printPipelineStats(Opts.Pipe, VV.V.Pipeline);
+    std::printf("  .text %zu bytes\n", VV.V.Image.Text.size());
+    return ExitOK;
   }
   std::printf("verified: %s seed=%llu attempts=%u "
               "(differential, image, structural checks passed)\n",
@@ -567,7 +686,8 @@ int cmdBatch(const Options &Opts) {
   B.Verify.MaxAttempts = Opts.Retries;
   B.Verify.Engine = Opts.Engine;
   driver::BatchResult R =
-      driver::makeVariantsBatch(P, diversityOptions(Opts), Seeds, B);
+      driver::makeVariantsBatch(P, Opts.Pipe, diversityOptions(Opts),
+                                Seeds, B);
 
   if (!Opts.OutDir.empty()) {
     std::error_code EC;
@@ -595,6 +715,8 @@ int cmdBatch(const Options &Opts) {
   for (const driver::VerifiedVariant &VV : R.Variants)
     if (!VV.Report.ok())
       std::fprintf(stderr, "%s", VV.Report.str().c_str());
+  if (!Opts.Transforms.empty())
+    std::printf("transforms: %s\n", Opts.Pipe.label().c_str());
   std::printf("batch: %zu seeds x %u jobs: %llu accepted, %llu rejected, "
               "%llu retried (%llu attempts total)\n",
               Seeds.size(), R.Jobs,
@@ -637,6 +759,17 @@ unsigned analyzeProgram(const driver::Program &P, const Options &Opts,
   };
   Check(P.MIR, "baseline");
   diversity::DiversityOptions D = diversityOptions(Opts);
+  if (!Opts.Transforms.empty()) {
+    // Pipeline mode: one composed variant per seed instead of the
+    // legacy nop / nop+shift pair.
+    for (unsigned V = 0; V != Opts.Variants; ++V) {
+      uint64_t Seed = Opts.Seed + V;
+      mir::MModule Var = P.MIR;
+      Opts.Pipe.run(Var, D, Seed);
+      Check(Var, "pipeline variant seed=" + std::to_string(Seed));
+    }
+    return Failed;
+  }
   for (unsigned V = 0; V != Opts.Variants; ++V) {
     uint64_t Seed = Opts.Seed + V;
     mir::MModule Var = diversity::makeVariant(P.MIR, D, Seed);
@@ -673,7 +806,8 @@ int cmdAnalyzeSuite(const Options &Opts) {
   for (const workloads::Workload &W : workloads::specSuite())
     RunOne(W);
   RunOne(workloads::phpInterpreter());
-  unsigned PerProgram = 1 + 2 * Opts.Variants;
+  unsigned PerProgram = Opts.Transforms.empty() ? 1 + 2 * Opts.Variants
+                                                : 1 + Opts.Variants;
   if (Failed) {
     std::fprintf(stderr, "pgsdc: analyze --suite: %u rejection(s)\n",
                  Failed);
@@ -706,7 +840,8 @@ int cmdAnalyze(const Options &Opts) {
   if (analyzeProgram(P, Opts, Opts.File))
     return ExitAnalysisFailed;
   std::printf("analyze: %s: baseline + %u variants clean (%u checkers)\n",
-              Opts.File.c_str(), 2 * Opts.Variants,
+              Opts.File.c_str(),
+              Opts.Transforms.empty() ? 2 * Opts.Variants : Opts.Variants,
               analysis::NumCheckers);
   return ExitOK;
 }
@@ -729,6 +864,15 @@ unsigned equivProgram(const driver::Program &P, const Options &Opts,
                  Label.c_str(), What.c_str(), R.str().c_str());
   };
   diversity::DiversityOptions D = diversityOptions(Opts);
+  if (!Opts.Transforms.empty()) {
+    for (unsigned V = 0; V != Opts.Variants; ++V) {
+      uint64_t Seed = Opts.Seed + V;
+      mir::MModule Var = P.MIR;
+      Opts.Pipe.run(Var, D, Seed);
+      Prove(Var, "pipeline variant seed=" + std::to_string(Seed));
+    }
+    return Failed;
+  }
   for (unsigned V = 0; V != Opts.Variants; ++V) {
     uint64_t Seed = Opts.Seed + V;
     mir::MModule Var = diversity::makeVariant(P.MIR, D, Seed);
@@ -811,6 +955,7 @@ int cmdNvx(const Options &Opts) {
   N.BaseSeed = Opts.Seed;
   N.TimeoutSeconds = Opts.TimeoutSeconds;
   N.Diversity = diversityOptions(Opts);
+  N.Pipeline = Opts.Pipe;
   N.Verify.MaxAttempts = Opts.Retries;
   N.Verify.Engine = Opts.Engine;
   nvx::NvxResult R = nvx::runLockstep(P, {}, N);
