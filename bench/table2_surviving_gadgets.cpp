@@ -63,12 +63,17 @@ int main() {
         gadget::scanGadgets(Base.Text.data(), Base.Text.size()).size();
 
     for (const bench::Config &C : Configs) {
+      // One Survivor sweep per config: survivingGadgetsMulti scans the
+      // baseline image once and probes every variant against it.
+      std::vector<std::vector<uint8_t>> Versions;
+      Versions.reserve(NumVariants);
+      for (uint64_t Seed = 1; Seed <= NumVariants; ++Seed)
+        Versions.push_back(
+            driver::makeVariant(P, C.Opts, Seed).Image.Text);
       std::vector<double> Counts;
-      for (uint64_t Seed = 1; Seed <= NumVariants; ++Seed) {
-        driver::Variant V = driver::makeVariant(P, C.Opts, Seed);
-        Counts.push_back(static_cast<double>(
-            gadget::survivingGadgets(Base.Text, V.Image.Text).size()));
-      }
+      for (const auto &Survivors :
+           gadget::survivingGadgetsMulti(Base.Text, Versions))
+        Counts.push_back(static_cast<double>(Survivors.size()));
       Row.MeanSurvivors.push_back(mean(Counts));
     }
     Rows.push_back(std::move(Row));

@@ -67,7 +67,12 @@ int main() {
                             .size();
         Versions.push_back(std::move(V.Image.Text));
       }
-      PerConfig.push_back(gadget::gadgetsInAtLeast(Versions, Thresholds));
+      // Shard the per-version scans across all cores; the merged counts
+      // are independent of the worker count.
+      gadget::ScanOptions ScanOpts;
+      ScanOpts.Jobs = 0;
+      PerConfig.push_back(
+          gadget::gadgetsInAtLeast(Versions, Thresholds, ScanOpts));
     }
     for (size_t T = 0; T != Thresholds.size(); ++T)
       for (size_t CI = 0; CI != Configs.size(); ++CI)

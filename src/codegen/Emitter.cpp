@@ -19,8 +19,17 @@ using x86::Mem;
 using x86::Reg;
 
 FunctionCode codegen::emitFunction(const MFunction &F, const MModule &M) {
-  (void)M;
   FunctionCode Code;
+  emitFunction(F, M, Code);
+  return Code;
+}
+
+void codegen::emitFunction(const MFunction &F, const MModule &M,
+                           FunctionCode &Out) {
+  (void)M;
+  FunctionCode &Code = Out;
+  Code.Bytes.clear();
+  Code.Relocs.clear();
   Encoder E(Code.Bytes);
 
   // Prologue: standard frame plus callee-saved spills. The pushes come
@@ -175,5 +184,4 @@ FunctionCode codegen::emitFunction(const MFunction &F, const MModule &M) {
     assert(Fix.TargetBlock < F.Blocks.size() && "bad branch target");
     E.patchRel32(Fix.FieldOffset, BlockOffset[Fix.TargetBlock]);
   }
-  return Code;
 }

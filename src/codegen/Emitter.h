@@ -52,6 +52,12 @@ struct FunctionCode {
 /// Emits machine code for \p F (a member of \p M).
 FunctionCode emitFunction(const mir::MFunction &F, const mir::MModule &M);
 
+/// As above, emitting into \p Out (cleared first, capacity kept). Batch
+/// loops pass the same FunctionCode per slot so code and reloc buffers
+/// are reused across variants instead of reallocated per emit.
+void emitFunction(const mir::MFunction &F, const mir::MModule &M,
+                  FunctionCode &Out);
+
 } // namespace codegen
 } // namespace pgsd
 

@@ -247,7 +247,41 @@ std::vector<uint8_t> codegen::buildRuntimeStub(
   return Bytes;
 }
 
+namespace {
+
+/// The C-runtime stub is a pure constant when DiversifyStub is off (the
+/// Rng is never consulted), so every undiversified link in a variant
+/// sweep can share one prebuilt copy. Built on first use; the magic
+/// static makes concurrent first calls safe.
+struct CachedStub {
+  std::vector<uint8_t> Bytes;
+  std::array<uint32_t, ir::NumIntrinsics> IntrinsicOffsets{};
+  uint32_t CallMainField = 0;
+};
+
+const CachedStub &plainRuntimeStub() {
+  static const CachedStub Stub = [] {
+    CachedStub S;
+    LinkOptions Plain; // DiversifyStub defaults to false
+    S.Bytes = buildRuntimeStub(S.IntrinsicOffsets, S.CallMainField, Plain);
+    return S;
+  }();
+  return Stub;
+}
+
+} // namespace
+
 Image codegen::link(const mir::MModule &M, const LinkOptions &Opts) {
+  // One scratch per thread: the batch fan-out links thousands of
+  // variants per worker, and every variant of one module has near-
+  // identical layout, so recycled buffers hit their high-water capacity
+  // after the first link.
+  thread_local LinkScratch Scratch;
+  return link(M, Opts, Scratch);
+}
+
+Image codegen::link(const mir::MModule &M, const LinkOptions &Opts,
+                    LinkScratch &Scratch) {
   assert(M.EntryFunction >= 0 && "module has no entry function");
   Image Img;
 
@@ -260,23 +294,34 @@ Image codegen::link(const mir::MModule &M, const LinkOptions &Opts) {
 
   // 1. C-runtime stub at offset 0 (crt*.o + libc objects equivalent).
   uint32_t CallMainField = 0;
-  std::vector<uint8_t> Stub =
-      buildRuntimeStub(Img.IntrinsicOffsets, CallMainField, Opts);
-  Img.Text = std::move(Stub);
+  Img.Text.reserve(Scratch.LastTextSize);
+  if (!Opts.DiversifyStub) {
+    const CachedStub &Stub = plainRuntimeStub();
+    Img.Text.insert(Img.Text.end(), Stub.Bytes.begin(), Stub.Bytes.end());
+    Img.IntrinsicOffsets = Stub.IntrinsicOffsets;
+    CallMainField = Stub.CallMainField;
+  } else {
+    std::vector<uint8_t> Stub =
+        buildRuntimeStub(Img.IntrinsicOffsets, CallMainField, Opts);
+    Img.Text.insert(Img.Text.end(), Stub.begin(), Stub.end());
+  }
   Img.StubSize = static_cast<uint32_t>(Img.Text.size());
   Img.EntryOffset = 0;
 
-  // 2. Program functions, in module order.
-  std::vector<codegen::FunctionCode> Codes(M.Functions.size());
+  // 2. Program functions, in module order, emitted into recycled
+  // per-slot buffers.
+  if (Scratch.Codes.size() < M.Functions.size())
+    Scratch.Codes.resize(M.Functions.size());
+  std::vector<codegen::FunctionCode> &Codes = Scratch.Codes;
   Img.FuncOffsets.resize(M.Functions.size());
-  std::vector<std::vector<Reloc>> PendingRelocs(M.Functions.size());
   for (size_t F = 0; F != M.Functions.size(); ++F) {
     PadTo(Align);
-    Codes[F] = emitFunction(M.Functions[F], M);
+    emitFunction(M.Functions[F], M, Codes[F]);
     Img.FuncOffsets[F] = static_cast<uint32_t>(Img.Text.size());
     Img.Text.insert(Img.Text.end(), Codes[F].Bytes.begin(),
                     Codes[F].Bytes.end());
   }
+  Scratch.LastTextSize = Img.Text.size();
 
   // 3. Data layout.
   Img.GlobalAddrs.resize(M.Globals.size());

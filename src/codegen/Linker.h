@@ -69,8 +69,21 @@ struct Image {
   uint32_t GlobalsEnd = codegen::GlobalsBase; ///< One past the last byte.
 };
 
-/// Emits every function of \p M and links the image.
+/// Reusable scratch state for link(). Batch loops pass the same
+/// instance (one per worker thread) so per-function emit buffers are
+/// recycled across variants and the .text vector is pre-sized from the
+/// previous variant's layout instead of growing through reallocation.
+struct LinkScratch {
+  std::vector<FunctionCode> Codes;
+  size_t LastTextSize = 0;
+};
+
+/// Emits every function of \p M and links the image. The two-argument
+/// form uses a thread-local LinkScratch, so repeated links on one
+/// thread (the batch fan-out) amortize buffer growth automatically.
 Image link(const mir::MModule &M, const LinkOptions &Opts = LinkOptions());
+Image link(const mir::MModule &M, const LinkOptions &Opts,
+           LinkScratch &Scratch);
 
 /// Builds just the C-runtime stub (exposed for tests and the gadget
 /// analysis of the undiversified residue). \p IntrinsicOffsets receives

@@ -26,9 +26,10 @@ struct NormalizedGadget {
 };
 
 bool normalizeAt(const uint8_t *Text, size_t Size, uint32_t Offset,
-                 const ScanOptions &Opts, NormalizedGadget &Out) {
-  std::vector<std::pair<uint32_t, uint8_t>> Raw;
-  if (!decodeGadgetAt(Text, Size, Offset, Opts, Raw))
+                 const ImageScan &Scan, const ScanOptions &Opts,
+                 std::vector<std::pair<uint32_t, uint8_t>> &Raw,
+                 NormalizedGadget &Out) {
+  if (!Scan.instructionsAt(Offset, Raw))
     return false;
   Out.Instrs.clear();
   Out.Bytes = 0;
@@ -174,11 +175,16 @@ gadget::classifyGadgets(const uint8_t *Text, size_t Size,
   ScanOptions AttackOpts = Opts;
   AttackOpts.IncludeSyscallGadgets = true;
 
+  // One decode-once scan answers "is there a gadget here" and yields
+  // instruction boundaries for every offset; only the non-NOP
+  // instructions of actual gadgets are re-decoded for classification.
+  ImageScan Scan(Text, Size, AttackOpts);
   std::vector<ClassifiedGadget> Result;
+  std::vector<std::pair<uint32_t, uint8_t>> Raw;
   NormalizedGadget G;
   for (size_t Offset = 0; Offset < Size; ++Offset) {
-    if (!normalizeAt(Text, Size, static_cast<uint32_t>(Offset), AttackOpts,
-                     G))
+    if (!normalizeAt(Text, Size, static_cast<uint32_t>(Offset), Scan,
+                     AttackOpts, Raw, G))
       continue;
     ClassifiedGadget C = classify(G, static_cast<uint32_t>(Offset));
     Result.push_back(C);

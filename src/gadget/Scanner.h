@@ -26,6 +26,22 @@
 ///   normalized content) appear in at least K of N diversified versions
 ///   (the paper's Table 3: K in {2, 5, 12} of N = 25).
 ///
+/// Two implementations back these queries (DESIGN.md section 15):
+///
+/// * The *reference oracle* decodes afresh from every byte offset with
+///   an Opts.MaxInstrs window -- O(Size x MaxInstrs) decodes per image.
+///   It is the executable specification, kept behind
+///   ScanOptions::ForceReference and pinned by ScannerParityTest.
+///
+/// * The *decode-once scanner* (ImageScan) decodes each offset exactly
+///   once into a flat side table of (length, class) facts, then a
+///   backward dynamic-programming pass computes the gadget suffix
+///   starting at every offset -- O(Size) decodes, byte-identical
+///   results. ImageScan additionally supports incremental rescans
+///   (re-decode only the regions perturbed by a byte diff) and is
+///   immutable after construction, so one original-image scan can be
+///   shared read-only across worker threads.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PGSD_GADGET_SCANNER_H
@@ -33,6 +49,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace pgsd {
@@ -51,6 +68,18 @@ struct ScanOptions {
   /// gadgets. Off for the paper's Survivor counting (which only counts
   /// free-branch-terminated sequences); on inside the attack checker.
   bool IncludeSyscallGadgets = false;
+  /// Use the per-offset reference oracle instead of the decode-once
+  /// scanner. Slow (O(Size x MaxInstrs) decodes); exists so the parity
+  /// tests and benches can compare against the executable spec.
+  bool ForceReference = false;
+  /// Seed each diversified-image scan from the shared original-image
+  /// scan and rescan only the byte ranges the variant perturbed
+  /// (survivingGadgetsMulti). Results are identical by construction.
+  bool Incremental = false;
+  /// Worker threads for the multi-version sweeps (survivingGadgetsMulti
+  /// and gadgetsInAtLeast): 1 runs serially on the calling thread, 0
+  /// uses all cores. Results are independent of this value.
+  unsigned Jobs = 1;
 };
 
 /// One gadget occurrence.
@@ -60,22 +89,107 @@ struct Gadget {
   uint8_t NumInstrs = 0;  ///< Instructions including the free branch.
 };
 
+/// A gadget that survived diversification at its original offset.
+struct SurvivingGadget {
+  uint32_t Offset = 0;
+  uint64_t NormHash = 0; ///< Hash of the NOP-normalized byte sequence.
+};
+
+/// Decode-once gadget index over one .text image.
+///
+/// Construction runs one linear decode pass (each offset decoded exactly
+/// once into a flat fact table) plus a backward DP pass, after which
+/// every query -- gadget enumeration, per-offset instruction boundaries,
+/// normalized content hashes -- is answered without touching the decoder
+/// again. rescan() diffs the new image against the held bytes and
+/// recomputes facts only for the dirty range (widened by the maximum
+/// instruction length) and DP only for the dirty range widened by
+/// MaxInstrs x max-instruction-length; results are identical to a fresh
+/// full scan by construction (ScannerParityTest pins this).
+///
+/// Thread-safety: all const queries are safe to call concurrently; a
+/// fully-constructed ImageScan may be shared read-only across threads.
+class ImageScan {
+public:
+  ImageScan() = default;
+  ImageScan(const uint8_t *Text, size_t Size,
+            const ScanOptions &Opts = ScanOptions());
+  explicit ImageScan(const std::vector<uint8_t> &Text,
+                     const ScanOptions &Opts = ScanOptions());
+
+  /// Replaces the image with \p NewText, re-decoding only the regions
+  /// that differ from the currently held bytes (plus widening).
+  void rescan(const uint8_t *NewText, size_t NewSize);
+  void rescan(const std::vector<uint8_t> &NewText) {
+    rescan(NewText.data(), NewText.size());
+  }
+
+  size_t size() const { return Bytes.size(); }
+  const ScanOptions &options() const { return Opts; }
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+
+  /// True when a gadget (terminator within the window) starts at
+  /// \p Offset.
+  bool hasGadgetAt(uint32_t Offset) const {
+    return Offset < SuffixInstrs.size() && SuffixInstrs[Offset] != 0;
+  }
+
+  /// Fills \p Out with the gadget starting at \p Offset; false when none
+  /// starts there.
+  bool gadgetAt(uint32_t Offset, Gadget &Out) const;
+
+  /// All gadgets, in offset order (same contents as scanGadgets).
+  std::vector<Gadget> gadgets() const;
+
+  /// Number of gadget start offsets (without materializing the vector).
+  size_t gadgetCount() const;
+
+  /// (offset, length) instruction boundaries of the gadget at \p Offset,
+  /// terminator included; false when no gadget starts there. Same
+  /// contract as decodeGadgetAt, answered from the fact table.
+  bool instructionsAt(uint32_t Offset,
+                      std::vector<std::pair<uint32_t, uint8_t>> &InstrsOut)
+      const;
+
+  /// NOP-normalized content hash of the gadget at \p Offset; false when
+  /// no gadget starts there. Same contract as normalizedGadgetHash.
+  bool normalizedHashAt(uint32_t Offset, uint64_t &HashOut,
+                        unsigned &NonNopInstrsOut) const;
+
+  /// Bytes the last (re)scan actually decoded: the whole image for a
+  /// full scan, the widened dirty range for a rescan.
+  uint64_t decodedBytes() const { return DecodedBytes; }
+  /// True when the last (re)scan reused clean prefix/suffix state.
+  bool lastScanIncremental() const { return LastIncremental; }
+
+private:
+  void fullScan();
+  void decodeFacts(size_t Begin, size_t End);
+  void computeDP(size_t Begin, size_t End);
+
+  ScanOptions Opts;
+  std::vector<uint8_t> Bytes;      ///< Held image (diff base + hashes).
+  std::vector<uint8_t> FactLen;    ///< Decoded length; 0 = invalid.
+  std::vector<uint8_t> FactFlags;  ///< Class/NOP bits (Scanner.cpp).
+  /// DP: instructions in the gadget suffix starting here; 0 = none
+  /// within the window.
+  std::vector<uint16_t> SuffixInstrs;
+  std::vector<uint32_t> SuffixLen; ///< DP: gadget suffix byte length.
+  uint64_t DecodedBytes = 0;
+  bool LastIncremental = false;
+};
+
 /// Scans \p Text for all gadget start offsets.
 std::vector<Gadget> scanGadgets(const uint8_t *Text, size_t Size,
                                 const ScanOptions &Opts = ScanOptions());
 
 /// Decodes the gadget starting at \p Offset into (offset, length)
 /// instruction boundaries including the terminator; returns false when
-/// no valid gadget starts there. Exposed for the attack classifier.
+/// no valid gadget starts there. Exposed for the attack classifier and
+/// as the per-offset reference oracle.
 bool decodeGadgetAt(const uint8_t *Text, size_t Size, uint32_t Offset,
                     const ScanOptions &Opts,
                     std::vector<std::pair<uint32_t, uint8_t>> &InstrsOut);
-
-/// A gadget that survived diversification at its original offset.
-struct SurvivingGadget {
-  uint32_t Offset = 0;
-  uint64_t NormHash = 0; ///< Hash of the NOP-normalized byte sequence.
-};
 
 /// Computes the NOP-normalized content hash of the gadget starting at
 /// \p Offset, or returns false when no valid gadget starts there.
@@ -83,15 +197,39 @@ bool normalizedGadgetHash(const uint8_t *Text, size_t Size, uint32_t Offset,
                           const ScanOptions &Opts, uint64_t &HashOut,
                           unsigned &NonNopInstrsOut);
 
+/// As above, reusing \p Scratch for the instruction boundaries (the
+/// reference survivor loops call this per gadget).
+bool normalizedGadgetHash(const uint8_t *Text, size_t Size, uint32_t Offset,
+                          const ScanOptions &Opts, uint64_t &HashOut,
+                          unsigned &NonNopInstrsOut,
+                          std::vector<std::pair<uint32_t, uint8_t>> &Scratch);
+
 /// The paper's Survivor algorithm over one (original, diversified) pair.
 std::vector<SurvivingGadget>
 survivingGadgets(const std::vector<uint8_t> &Original,
                  const std::vector<uint8_t> &Diversified,
                  const ScanOptions &Opts = ScanOptions());
 
+/// Survivor comparison over two prebuilt scans; lets callers amortize
+/// one original-image scan across many diversified versions.
+std::vector<SurvivingGadget> survivingGadgets(const ImageScan &Original,
+                                              const ImageScan &Diversified);
+
+/// Survivor comparison of every version against one original, sharing a
+/// single original-image scan. Opts.Jobs shards versions across a
+/// support::ThreadPool; Opts.Incremental seeds each version scan from
+/// the original scan and rescans only the diffed ranges. Results are
+/// index-aligned with \p Versions and independent of Jobs.
+std::vector<std::vector<SurvivingGadget>>
+survivingGadgetsMulti(const std::vector<uint8_t> &Original,
+                      const std::vector<std::vector<uint8_t>> &Versions,
+                      const ScanOptions &Opts = ScanOptions());
+
 /// Multi-version analysis: returns, for each threshold in \p Thresholds,
 /// how many gadget identities (offset, normalized content) occur in at
-/// least that many of the \p Versions.
+/// least that many of the \p Versions. Opts.Jobs shards the per-version
+/// scans; per-worker occurrence maps are merged deterministically, so
+/// the result is independent of Jobs.
 std::vector<uint64_t>
 gadgetsInAtLeast(const std::vector<std::vector<uint8_t>> &Versions,
                  const std::vector<unsigned> &Thresholds,

@@ -353,8 +353,21 @@ static int64_t readImm(const uint8_t *Bytes, size_t Width) {
   }
 }
 
-bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
-  Out = Decoded();
+/// Shared decode body. \p WantFields selects between the full decode
+/// (operand fields materialized into \p Out) and the length/class-only
+/// variant used by the bulk gadget scan, which skips every write and
+/// immediate read that does not affect (valid, Length, Class). The two
+/// instantiations share all length and classification logic by
+/// construction; DecoderTest and ScannerParityTest additionally pin
+/// them equal over random byte streams.
+template <bool WantFields>
+static bool decodeImpl(const uint8_t *Bytes, size_t Size, Decoded &Out) {
+  if constexpr (WantFields)
+    Out = Decoded();
+  else {
+    Out.Length = 0;
+    Out.Class = InstrClass::Invalid;
+  }
   if (Size == 0)
     return false;
   if (Size > MaxInstrLen)
@@ -371,35 +384,45 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
       Addr16 = true;
     ++Pos;
   }
-  Out.NumPrefixes = static_cast<uint8_t>(Pos);
+  if constexpr (WantFields)
+    Out.NumPrefixes = static_cast<uint8_t>(Pos);
   if (Pos >= Size)
     return false; // all prefixes, no opcode
 
   // Fetch the opcode and its table entry.
   uint8_t Op = Bytes[Pos++];
+  bool TwoByte = false;
   const OpInfo *Info;
   if (Op == 0x0F) {
     if (Pos >= Size)
       return false;
     Op = Bytes[Pos++];
-    Out.TwoByte = true;
+    TwoByte = true;
+    if constexpr (WantFields)
+      Out.TwoByte = true;
     // Three-byte escapes (0F 38 / 0F 3A): SSSE3+ ModRM instructions.
     if (Op == 0x38 || Op == 0x3A) {
       bool HasImm = Op == 0x3A;
       if (Pos >= Size)
         return false;
-      Out.Opcode = Bytes[Pos++]; // tertiary opcode
+      if constexpr (WantFields)
+        Out.Opcode = Bytes[Pos]; // tertiary opcode
+      ++Pos;
       size_t MSize = modRMSize(Bytes + Pos, Size - Pos, Addr16);
       if (MSize == 0)
         return false;
-      Out.HasModRM = true;
-      Out.ModRM = Bytes[Pos];
+      if constexpr (WantFields) {
+        Out.HasModRM = true;
+        Out.ModRM = Bytes[Pos];
+      }
       Pos += MSize;
       if (HasImm) {
         if (Pos >= Size)
           return false;
-        Out.HasImm = true;
-        Out.Imm = readImm(Bytes + Pos, 1);
+        if constexpr (WantFields) {
+          Out.HasImm = true;
+          Out.Imm = readImm(Bytes + Pos, 1);
+        }
         ++Pos;
       }
       Out.Length = static_cast<uint8_t>(Pos);
@@ -410,20 +433,27 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
   } else {
     Info = &OneByteTable[Op];
   }
-  Out.Opcode = Op;
+  if constexpr (WantFields)
+    Out.Opcode = Op;
   Out.Class = Info->Class;
 
   // ModRM (+SIB +displacement).
+  uint8_t ModRM = 0;
   if (Info->Flags & FModRM) {
     size_t MSize = modRMSize(Bytes + Pos, Size - Pos, Addr16);
     if (MSize == 0) {
       Out.Class = InstrClass::Invalid;
       return false;
     }
-    Out.HasModRM = true;
-    Out.ModRM = Bytes[Pos];
+    ModRM = Bytes[Pos];
+    if constexpr (WantFields) {
+      Out.HasModRM = true;
+      Out.ModRM = ModRM;
+    }
     Pos += MSize;
   }
+  const uint8_t ModField = ModRM >> 6;
+  const uint8_t RegField = (ModRM >> 3) & 7;
 
   // Immediates / displacements.
   size_t ImmBytes = 0;
@@ -446,17 +476,19 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
     return false;
   }
   if (ImmBytes != 0) {
-    Out.HasImm = true;
-    // For multi-part immediates (ENTER, far pointers) keep the first
-    // component; the classifier only needs INT/RET-style immediates.
-    size_t FirstWidth = ImmBytes;
-    if (Info->Flags & FFarPtr)
-      FirstWidth = Op16 ? 2 : 4;
-    else if ((Info->Flags & FImm16) && (Info->Flags & FImm8))
-      FirstWidth = 2; // ENTER imm16, imm8
-    else if (FirstWidth > 4)
-      FirstWidth = 4;
-    Out.Imm = readImm(Bytes + Pos, FirstWidth);
+    if constexpr (WantFields) {
+      Out.HasImm = true;
+      // For multi-part immediates (ENTER, far pointers) keep the first
+      // component; the classifier only needs INT/RET-style immediates.
+      size_t FirstWidth = ImmBytes;
+      if (Info->Flags & FFarPtr)
+        FirstWidth = Op16 ? 2 : 4;
+      else if ((Info->Flags & FImm16) && (Info->Flags & FImm8))
+        FirstWidth = 2; // ENTER imm16, imm8
+      else if (FirstWidth > 4)
+        FirstWidth = 4;
+      Out.Imm = readImm(Bytes + Pos, FirstWidth);
+    }
     Pos += ImmBytes;
   }
   if (Pos > MaxInstrLen) {
@@ -466,47 +498,49 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
   Out.Length = static_cast<uint8_t>(Pos);
 
   // Per-ModRM refinements of groups and special cases.
-  if (!Out.TwoByte) {
+  if (!TwoByte) {
     switch (Op) {
     case 0x62: // BOUND: register form undefined
     case 0xC4: // LES: register form undefined
     case 0xC5: // LDS: register form undefined
     case 0x8D: // LEA: register form undefined
-      if (Out.modField() == 3)
+      if (ModField == 3)
         Out.Class = InstrClass::Invalid;
       break;
     case 0x8E: // MOV sreg, rm: loading CS is undefined
-      if (Out.regField() == 1)
+      if (RegField == 1)
         Out.Class = InstrClass::Invalid;
       break;
     case 0x8F: // POP rm: only /0 defined
-      if (Out.regField() != 0)
+      if (RegField != 0)
         Out.Class = InstrClass::Invalid;
       break;
     case 0xC6:
     case 0xC7: // MOV rm, imm: only /0 defined
-      if (Out.regField() != 0)
+      if (RegField != 0)
         Out.Class = InstrClass::Invalid;
       break;
     case 0xF6: // group 3 rm8: /0,/1 TEST take imm8
     case 0xF7: // group 3 rm32: /0,/1 TEST take immZ
-      if (Out.regField() <= 1) {
+      if (RegField <= 1) {
         size_t W = Op == 0xF6 ? 1 : (Op16 ? 2 : 4);
         if (Out.Length + W > Size || Out.Length + W > MaxInstrLen) {
           Out.Class = InstrClass::Invalid;
           return false;
         }
-        Out.HasImm = true;
-        Out.Imm = readImm(Bytes + Out.Length, W);
+        if constexpr (WantFields) {
+          Out.HasImm = true;
+          Out.Imm = readImm(Bytes + Out.Length, W);
+        }
         Out.Length = static_cast<uint8_t>(Out.Length + W);
       }
       break;
     case 0xFE: // group 4: only INC/DEC rm8
-      if (Out.regField() > 1)
+      if (RegField > 1)
         Out.Class = InstrClass::Invalid;
       break;
     case 0xFF: // group 5
-      switch (Out.regField()) {
+      switch (RegField) {
       case 0:
       case 1: // INC/DEC rm32
         break;
@@ -515,14 +549,14 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
         break;
       case 3: // CALL far m16:32 (memory only)
         Out.Class =
-            Out.modField() == 3 ? InstrClass::Invalid : InstrClass::CallInd;
+            ModField == 3 ? InstrClass::Invalid : InstrClass::CallInd;
         break;
       case 4: // JMP rm32
         Out.Class = InstrClass::JmpInd;
         break;
       case 5: // JMP far m16:32 (memory only)
         Out.Class =
-            Out.modField() == 3 ? InstrClass::Invalid : InstrClass::JmpInd;
+            ModField == 3 ? InstrClass::Invalid : InstrClass::JmpInd;
         break;
       case 6: // PUSH rm32
         break;
@@ -539,11 +573,11 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
     case 0xB2: // LSS
     case 0xB4: // LFS
     case 0xB5: // LGS: register forms undefined
-      if (Out.modField() == 3)
+      if (ModField == 3)
         Out.Class = InstrClass::Invalid;
       break;
     case 0xC7: // group 9: only CMPXCHG8B m64 (/1, memory)
-      if (Out.regField() != 1 || Out.modField() == 3)
+      if (RegField != 1 || ModField == 3)
         Out.Class = InstrClass::Invalid;
       break;
     default:
@@ -552,4 +586,17 @@ bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
   }
 
   return Out.Class != InstrClass::Invalid;
+}
+
+bool x86::decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out) {
+  return decodeImpl<true>(Bytes, Size, Out);
+}
+
+bool x86::decodeLenClass(const uint8_t *Bytes, size_t Size,
+                         uint8_t &LengthOut, InstrClass &ClassOut) {
+  Decoded Scratch;
+  bool Ok = decodeImpl<false>(Bytes, Size, Scratch);
+  LengthOut = Scratch.Length;
+  ClassOut = Scratch.Class;
+  return Ok;
 }

@@ -114,6 +114,15 @@ struct Decoded {
 /// still filled with Class == Invalid in that case.
 bool decodeInstr(const uint8_t *Bytes, size_t Size, Decoded &Out);
 
+/// Length/class-only decode for bulk scanning: same (valid, length,
+/// class) verdict as decodeInstr for every byte string -- both compile
+/// from one shared template -- but skips materializing operand fields
+/// and immediate values. The gadget scanner's fact pass calls this once
+/// per image offset, where the skipped work is a measurable fraction of
+/// the whole scan.
+bool decodeLenClass(const uint8_t *Bytes, size_t Size, uint8_t &LengthOut,
+                    InstrClass &ClassOut);
+
 } // namespace x86
 } // namespace pgsd
 

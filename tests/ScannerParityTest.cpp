@@ -1,0 +1,428 @@
+//===-- tests/ScannerParityTest.cpp - Fast-vs-reference scanner parity -----===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// The decode-once scanner (gadget::ImageScan and the default free-
+// function paths) must be byte-identical to the per-offset reference
+// oracle (ScanOptions::ForceReference) on every query that feeds the
+// paper's Table 2/3 numbers: gadget enumeration, NOP-normalized hashes,
+// Survivor pairs, and multi-version threshold counts. Zero tolerance --
+// any divergence here silently corrupts the security evaluation.
+//
+// Coverage:
+//  * all 19 SPEC-like workloads x the four single-transform pipelines
+//    (nop, shift, sched, regs), baseline and diversified images;
+//  * 200 seeded MiniC fuzz programs with per-seed scan options
+//    (window size, XCHG set, syscall terminators), checked per offset;
+//  * incremental rescans against fresh full scans under random byte
+//    diffs: overwrites, insertions, deletions, chained edits, and edits
+//    straddling the image start/end and instruction boundaries;
+//  * parallel multi-version sweeps (Jobs > 1, shared original scan,
+//    incremental seeding) against both the serial fast path and the
+//    reference oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "gadget/Scanner.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+#include "x86/Decoder.h"
+
+#include "MiniCFuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
+using namespace pgsd;
+using gadget::Gadget;
+using gadget::ImageScan;
+using gadget::ScanOptions;
+using gadget::SurvivingGadget;
+
+namespace {
+
+/// Bytes of a workload's diversified .text under one single-transform
+/// pipeline (uniform probabilities: no training profile required).
+std::vector<uint8_t> variantText(const driver::Program &P,
+                                 diversity::TransformKind Kind,
+                                 uint64_t Seed) {
+  diversity::Pipeline Pipe(std::vector<diversity::TransformKind>{Kind});
+  auto Opts = diversity::DiversityOptions::uniform(0.3);
+  return driver::makeVariant(P, Pipe, Opts, Seed).Image.Text;
+}
+
+void expectSameGadgets(const std::vector<Gadget> &Fast,
+                       const std::vector<Gadget> &Ref,
+                       const std::string &What) {
+  ASSERT_EQ(Fast.size(), Ref.size()) << What;
+  for (size_t I = 0; I != Fast.size(); ++I) {
+    ASSERT_EQ(Fast[I].Offset, Ref[I].Offset) << What << " gadget " << I;
+    ASSERT_EQ(Fast[I].Length, Ref[I].Length)
+        << What << " offset " << Fast[I].Offset;
+    ASSERT_EQ(+Fast[I].NumInstrs, +Ref[I].NumInstrs)
+        << What << " offset " << Fast[I].Offset;
+  }
+}
+
+void expectSameSurvivors(const std::vector<SurvivingGadget> &Fast,
+                         const std::vector<SurvivingGadget> &Ref,
+                         const std::string &What) {
+  ASSERT_EQ(Fast.size(), Ref.size()) << What;
+  for (size_t I = 0; I != Fast.size(); ++I) {
+    ASSERT_EQ(Fast[I].Offset, Ref[I].Offset) << What << " survivor " << I;
+    ASSERT_EQ(Fast[I].NormHash, Ref[I].NormHash)
+        << What << " offset " << Fast[I].Offset;
+  }
+}
+
+/// Per-offset contract check: ImageScan's queries against the reference
+/// oracle's decodeGadgetAt / normalizedGadgetHash at *every* offset.
+void expectOffsetParity(const std::vector<uint8_t> &Text,
+                        const ScanOptions &Opts, const std::string &What) {
+  ImageScan Scan(Text.data(), Text.size(), Opts);
+  std::vector<std::pair<uint32_t, uint8_t>> RefInstrs, FastInstrs;
+  for (size_t Offset = 0; Offset != Text.size(); ++Offset) {
+    const auto At = static_cast<uint32_t>(Offset);
+    bool RefOk =
+        gadget::decodeGadgetAt(Text.data(), Text.size(), At, Opts, RefInstrs);
+    bool FastOk = Scan.instructionsAt(At, FastInstrs);
+    ASSERT_EQ(FastOk, RefOk) << What << " offset " << Offset;
+    if (!RefOk)
+      continue;
+    ASSERT_EQ(FastInstrs, RefInstrs) << What << " offset " << Offset;
+    uint64_t RefHash = 0, FastHash = 0;
+    unsigned RefNonNop = 0, FastNonNop = 0;
+    ASSERT_TRUE(gadget::normalizedGadgetHash(Text.data(), Text.size(), At,
+                                             Opts, RefHash, RefNonNop));
+    ASSERT_TRUE(Scan.normalizedHashAt(At, FastHash, FastNonNop));
+    ASSERT_EQ(FastHash, RefHash) << What << " offset " << Offset;
+    ASSERT_EQ(FastNonNop, RefNonNop) << What << " offset " << Offset;
+  }
+}
+
+/// Full-scan equality: a rescanned ImageScan must be indistinguishable
+/// from a freshly built one.
+void expectScanEqualsFresh(const ImageScan &Rescanned,
+                           const std::vector<uint8_t> &Text,
+                           const ScanOptions &Opts, const std::string &What) {
+  ImageScan Fresh(Text.data(), Text.size(), Opts);
+  ASSERT_EQ(Rescanned.size(), Fresh.size()) << What;
+  expectSameGadgets(Rescanned.gadgets(), Fresh.gadgets(), What);
+  uint64_t HashA = 0, HashB = 0;
+  unsigned NonNopA = 0, NonNopB = 0;
+  for (size_t Offset = 0; Offset != Text.size(); ++Offset) {
+    const auto At = static_cast<uint32_t>(Offset);
+    ASSERT_EQ(Rescanned.hasGadgetAt(At), Fresh.hasGadgetAt(At))
+        << What << " offset " << Offset;
+    if (!Fresh.hasGadgetAt(At))
+      continue;
+    ASSERT_TRUE(Rescanned.normalizedHashAt(At, HashA, NonNopA));
+    ASSERT_TRUE(Fresh.normalizedHashAt(At, HashB, NonNopB));
+    ASSERT_EQ(HashA, HashB) << What << " offset " << Offset;
+    ASSERT_EQ(NonNopA, NonNopB) << What << " offset " << Offset;
+  }
+}
+
+const diversity::TransformKind AllKinds[] = {
+    diversity::TransformKind::Nop, diversity::TransformKind::Shift,
+    diversity::TransformKind::Sched, diversity::TransformKind::Regs};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Workload battery: fast vs reference on every workload x pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, WorkloadSuiteAllPipelines) {
+  ScanOptions Fast;
+  ScanOptions Ref;
+  Ref.ForceReference = true;
+  unsigned Combos = 0;
+  for (const workloads::Workload &W : workloads::specSuite()) {
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    ASSERT_TRUE(P.ok()) << W.Name;
+    const std::vector<uint8_t> Base = driver::linkBaseline(P).Text;
+    expectSameGadgets(gadget::scanGadgets(Base.data(), Base.size(), Fast),
+                      gadget::scanGadgets(Base.data(), Base.size(), Ref),
+                      W.Name + " baseline");
+    for (diversity::TransformKind Kind : AllKinds) {
+      const uint64_t Seed = 0x5EED + Combos;
+      const std::vector<uint8_t> Div = variantText(P, Kind, Seed);
+      expectSameGadgets(gadget::scanGadgets(Div.data(), Div.size(), Fast),
+                        gadget::scanGadgets(Div.data(), Div.size(), Ref),
+                        W.Name + " variant");
+      expectSameSurvivors(
+          gadget::survivingGadgets(Base, Div, Fast),
+          gadget::survivingGadgets(Base, Div, Ref),
+          W.Name + "/" + diversity::transformKindName(Kind));
+      // Incremental seeding from the original scan must agree too.
+      ScanOptions Incr = Fast;
+      Incr.Incremental = true;
+      expectSameSurvivors(
+          gadget::survivingGadgets(Base, Div, Incr),
+          gadget::survivingGadgets(Base, Div, Ref),
+          W.Name + "/" + diversity::transformKindName(Kind) + " incr");
+      ++Combos;
+    }
+  }
+  EXPECT_EQ(Combos, 19u * 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-version sweeps: serial, parallel, incremental, reference
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, MultiVersionThresholdsAndSweeps) {
+  // A handful of representative workloads (the full suite runs above);
+  // N versions each, every execution strategy must agree exactly.
+  const char *Names[] = {"470.lbm", "401.bzip2", "458.sjeng"};
+  const std::vector<unsigned> Thresholds = {1, 2, 5, 8, 9, 100};
+  for (const char *Name : Names) {
+    const workloads::Workload &W = workloads::specWorkload(Name);
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    ASSERT_TRUE(P.ok()) << Name;
+    const std::vector<uint8_t> Base = driver::linkBaseline(P).Text;
+    std::vector<std::vector<uint8_t>> Versions;
+    for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+      Versions.push_back(
+          variantText(P, diversity::TransformKind::Nop, Seed));
+
+    ScanOptions Ref;
+    Ref.ForceReference = true;
+    const std::vector<uint64_t> Want =
+        gadget::gadgetsInAtLeast(Versions, Thresholds, Ref);
+
+    ScanOptions Serial;
+    EXPECT_EQ(gadget::gadgetsInAtLeast(Versions, Thresholds, Serial), Want)
+        << Name;
+    ScanOptions Par;
+    Par.Jobs = 4;
+    EXPECT_EQ(gadget::gadgetsInAtLeast(Versions, Thresholds, Par), Want)
+        << Name;
+    ScanOptions AllCores;
+    AllCores.Jobs = 0;
+    EXPECT_EQ(gadget::gadgetsInAtLeast(Versions, Thresholds, AllCores),
+              Want)
+        << Name;
+
+    // survivingGadgetsMulti: all strategies against per-pair reference.
+    std::vector<std::vector<SurvivingGadget>> WantSurv;
+    for (const auto &V : Versions)
+      WantSurv.push_back(gadget::survivingGadgets(Base, V, Ref));
+    for (unsigned Jobs : {1u, 4u}) {
+      for (bool Incremental : {false, true}) {
+        ScanOptions O;
+        O.Jobs = Jobs;
+        O.Incremental = Incremental;
+        auto Got = gadget::survivingGadgetsMulti(Base, Versions, O);
+        ASSERT_EQ(Got.size(), WantSurv.size());
+        for (size_t I = 0; I != Got.size(); ++I)
+          expectSameSurvivors(Got[I], WantSurv[I],
+                              std::string(Name) + " multi jobs=" +
+                                  std::to_string(Jobs) +
+                                  (Incremental ? " incr" : "") + " v" +
+                                  std::to_string(I));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MiniC fuzz battery: per-offset parity under varied scan options
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, FuzzedProgramsPerOffset) {
+  unsigned Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    MiniCFuzzer Fuzzer(Seed);
+    std::string Source = Fuzzer.generate();
+    driver::Program P = driver::compileProgram(
+        Source, "fuzz-" + std::to_string(Seed), /*Optimize=*/(Seed & 1));
+    ASSERT_TRUE(P.ok()) << "seed " << Seed;
+    const std::vector<uint8_t> Text = driver::linkBaseline(P).Text;
+    // Exercise the option space: window size, XCHG normalization set,
+    // syscall terminators.
+    ScanOptions Opts;
+    Opts.MaxInstrs = 1 + static_cast<unsigned>(Seed % 12);
+    Opts.IncludeXchgNops = (Seed % 2) == 0;
+    Opts.IncludeSyscallGadgets = (Seed % 4) < 2;
+    expectOffsetParity(Text, Opts, "fuzz seed " + std::to_string(Seed));
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 200u);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental rescans vs fresh full scans under random byte diffs
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, IncrementalRandomEdits) {
+  const workloads::Workload &W = workloads::specWorkload("429.mcf");
+  driver::Program P = driver::compileProgram(W.Source, W.Name);
+  ASSERT_TRUE(P.ok());
+  const std::vector<uint8_t> Base = driver::linkBaseline(P).Text;
+
+  Rng Gen(0xD1FF);
+  ScanOptions Opts;
+  // Chained edits: the scan is rescanned in place, never rebuilt, so
+  // errors would accumulate and surface.
+  ImageScan Scan(Base.data(), Base.size(), Opts);
+  std::vector<uint8_t> Text = Base;
+  for (unsigned Round = 0; Round != 120; ++Round) {
+    const unsigned EditKind = static_cast<unsigned>(Gen.nextBelow(4));
+    const size_t Len = 1 + static_cast<size_t>(Gen.nextBelow(24));
+    const size_t Pos =
+        Text.empty() ? 0 : static_cast<size_t>(Gen.nextBelow(
+                               static_cast<uint32_t>(Text.size())));
+    switch (EditKind) {
+    case 0: // overwrite (possibly straddling the image end)
+      for (size_t I = 0; I != Len && Pos + I < Text.size(); ++I)
+        Text[Pos + I] = static_cast<uint8_t>(Gen.nextBelow(256));
+      break;
+    case 1: { // insert (grows the image; suffix shifts right)
+      std::vector<uint8_t> Ins(Len);
+      for (uint8_t &B : Ins)
+        B = static_cast<uint8_t>(Gen.nextBelow(256));
+      Text.insert(Text.begin() + static_cast<ptrdiff_t>(Pos), Ins.begin(),
+                  Ins.end());
+      break;
+    }
+    case 2: // delete (shrinks the image; suffix shifts left)
+      Text.erase(Text.begin() + static_cast<ptrdiff_t>(Pos),
+                 Text.begin() + static_cast<ptrdiff_t>(
+                                    std::min(Pos + Len, Text.size())));
+      break;
+    default: // single-byte flip on an instruction boundary's last byte
+      if (!Text.empty())
+        Text[Pos] ^= 0x80;
+      break;
+    }
+    Scan.rescan(Text);
+    EXPECT_TRUE(Scan.lastScanIncremental());
+    expectScanEqualsFresh(Scan, Text, Opts,
+                          "round " + std::to_string(Round));
+  }
+
+  // Degenerate diffs: identical image, empty image, total replacement.
+  Scan.rescan(Text);
+  EXPECT_EQ(Scan.decodedBytes(), 0u);
+  expectScanEqualsFresh(Scan, Text, Opts, "identical rescan");
+  std::vector<uint8_t> Empty;
+  Scan.rescan(Empty);
+  expectScanEqualsFresh(Scan, Empty, Opts, "empty rescan");
+  Scan.rescan(Base);
+  expectScanEqualsFresh(Scan, Base, Opts, "full replacement");
+}
+
+TEST(ScannerParity, IncrementalBoundaryStraddlingEdits) {
+  // Hand-built image: NOP sled, a MaxInstrs-deep body chain into a RET,
+  // and a trailing RET -- edits near the chain boundaries exercise the
+  // dirty-range widening (an edit at byte K can create or destroy
+  // gadgets starting up to MaxInstrs x 15 bytes earlier).
+  std::vector<uint8_t> Text;
+  for (unsigned I = 0; I != 64; ++I)
+    Text.push_back(0x90); // NOP
+  for (unsigned I = 0; I != 16; ++I) {
+    Text.push_back(0x89); // MOV ESP,ESP (2-byte body)
+    Text.push_back(0xE4);
+  }
+  Text.push_back(0xC3); // RET
+  for (unsigned I = 0; I != 32; ++I)
+    Text.push_back(0x40); // INC EAX
+  Text.push_back(0xC3); // RET
+
+  ScanOptions Opts;
+  for (size_t Edit = 0; Edit != Text.size(); ++Edit) {
+    ImageScan Scan(Text.data(), Text.size(), Opts);
+    std::vector<uint8_t> Mut = Text;
+    Mut[Edit] = 0xF4; // HLT: privileged, kills any chain through it
+    Scan.rescan(Mut);
+    expectScanEqualsFresh(Scan, Mut, Opts,
+                          "HLT at " + std::to_string(Edit));
+    // And back: the reverse diff restores the original results.
+    Scan.rescan(Text);
+    expectScanEqualsFresh(Scan, Text, Opts,
+                          "restore at " + std::to_string(Edit));
+  }
+
+  // Insertions that straddle the decode window at the dirty-range edge.
+  for (size_t Edit : {size_t(0), size_t(63), size_t(64), size_t(80),
+                      Text.size() - 2, Text.size()}) {
+    ImageScan Scan(Text.data(), Text.size(), Opts);
+    std::vector<uint8_t> Mut = Text;
+    const uint8_t Frag[] = {0x8D, 0x36, 0xC3}; // LEA ESI,[ESI]; RET
+    Mut.insert(Mut.begin() + static_cast<ptrdiff_t>(Edit), Frag,
+               Frag + sizeof(Frag));
+    Scan.rescan(Mut);
+    expectScanEqualsFresh(Scan, Mut, Opts,
+                          "insert at " + std::to_string(Edit));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random byte streams: the lean decode path and the fast scanner must
+// agree with the full decoder / reference oracle on arbitrary bytes,
+// not just compiler output
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, RandomBytesDecodeAndScanParity) {
+  Rng Gen(0xBEEF);
+  for (unsigned Buf = 0; Buf != 64; ++Buf) {
+    std::vector<uint8_t> Text(4096);
+    for (uint8_t &B : Text)
+      B = static_cast<uint8_t>(Gen.nextBelow(256));
+    // decodeLenClass must return the exact (valid, length, class)
+    // triple of decodeInstr at every offset.
+    for (size_t I = 0; I != Text.size(); ++I) {
+      x86::Decoded D;
+      const bool FullOk = x86::decodeInstr(Text.data() + I,
+                                           Text.size() - I, D);
+      uint8_t Len = 0;
+      x86::InstrClass Class = x86::InstrClass::Invalid;
+      const bool LeanOk = x86::decodeLenClass(Text.data() + I,
+                                              Text.size() - I, Len, Class);
+      ASSERT_EQ(LeanOk, FullOk) << "buf " << Buf << " offset " << I;
+      ASSERT_EQ(Len, D.Length) << "buf " << Buf << " offset " << I;
+      ASSERT_EQ(static_cast<int>(Class), static_cast<int>(D.Class))
+          << "buf " << Buf << " offset " << I;
+    }
+    // And the scanner built on it must match the reference oracle.
+    ScanOptions Opts;
+    Opts.IncludeXchgNops = (Buf % 2) == 0;
+    Opts.IncludeSyscallGadgets = (Buf % 4) < 2;
+    expectOffsetParity(Text, Opts, "random buf " + std::to_string(Buf));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Option-sensitivity: fact table shared across NOP sets and windows
+//===----------------------------------------------------------------------===//
+
+TEST(ScannerParity, OptionMatrixOnStub) {
+  // The undiversified runtime stub is the paper's surviving-gadget
+  // residue; sweep the full option matrix over it per offset.
+  std::array<uint32_t, ir::NumIntrinsics> Intr{};
+  uint32_t CallMain = 0;
+  const std::vector<uint8_t> Stub =
+      codegen::buildRuntimeStub(Intr, CallMain, codegen::LinkOptions());
+  for (unsigned MaxInstrs : {1u, 2u, 8u, 32u}) {
+    for (bool Xchg : {false, true}) {
+      for (bool Syscall : {false, true}) {
+        ScanOptions Opts;
+        Opts.MaxInstrs = MaxInstrs;
+        Opts.IncludeXchgNops = Xchg;
+        Opts.IncludeSyscallGadgets = Syscall;
+        expectOffsetParity(Stub, Opts,
+                           "stub w=" + std::to_string(MaxInstrs) +
+                               " x=" + std::to_string(Xchg) +
+                               " s=" + std::to_string(Syscall));
+      }
+    }
+  }
+}

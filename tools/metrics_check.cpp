@@ -6,6 +6,7 @@
 // Standalone validator for pgsd-metrics-v1 files:
 //
 //   metrics_check metrics.json [--batch] [--nvx] [--equiv] [--transforms]
+//                              [--gadget]
 //
 // Checks, in order:
 //  1. The file is syntactically valid JSON (obs::validateJson, the same
@@ -35,6 +36,13 @@
 //     cannot exceed candidate sites, blocks randomized cannot exceed
 //     blocks considered, functions shuffled cannot exceed functions
 //     considered.
+//  7. With --gadget (the file came from a run through the gadget
+//     scanner, e.g. `pgsdc gadgets --seeds N --metrics`): the scan
+//     counters must be present, decoded bytes can never exceed scanned
+//     bytes (the decode-once invariant: a scan decodes at most the
+//     whole image, a rescan strictly less), dirty bytes only accumulate
+//     from incremental scans, and the incremental-fraction gauge must
+//     be a valid proportion.
 //
 // Exit 0 on success, 1 with a diagnostic on the first failed check.
 // Key lookups scan for the literal `"<key>": ` the deterministic obs
@@ -83,10 +91,11 @@ bool hasKey(const std::string &Text, const std::string &Key) {
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
     std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch] "
-                         "[--nvx] [--equiv] [--transforms]\n");
+                         "[--nvx] [--equiv] [--transforms] [--gadget]\n");
     return 1;
   }
-  bool Batch = false, Nvx = false, Equiv = false, Transforms = false;
+  bool Batch = false, Nvx = false, Equiv = false, Transforms = false,
+       Gadget = false;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--batch") == 0)
       Batch = true;
@@ -96,6 +105,8 @@ int main(int Argc, char **Argv) {
       Equiv = true;
     else if (std::strcmp(Argv[I], "--transforms") == 0)
       Transforms = true;
+    else if (std::strcmp(Argv[I], "--gadget") == 0)
+      Gadget = true;
     else
       return fail(std::string("unknown option '") + Argv[I] + "'");
   }
@@ -321,6 +332,75 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Gadget) {
+    for (const char *Key :
+         {"gadget.scans_full", "gadget.bytes_scanned",
+          "gadget.bytes_decoded", "gadget.incremental_fraction",
+          "gadget.scan", "gadget.survivor"})
+      if (!hasKey(Text, Key))
+        return fail(std::string("gadget metrics missing \"") + Key +
+                    "\"");
+
+    // The decode-once invariant: every (re)scan decodes at most the
+    // bytes it was handed, and a rescan strictly fewer, so the decoded
+    // total can never exceed the scanned total.
+    double Scanned = 0, Decoded = 0;
+    if (!findNumber(Text, "gadget.bytes_scanned", Scanned) ||
+        !findNumber(Text, "gadget.bytes_decoded", Decoded))
+      return fail("cannot read gadget byte counters");
+    if (Decoded > Scanned) {
+      std::fprintf(stderr,
+                   "metrics_check: gadget.bytes_decoded %.0f exceeds "
+                   "gadget.bytes_scanned %.0f\n",
+                   Decoded, Scanned);
+      return 1;
+    }
+
+    // Dirty bytes are the decoded subset of incremental rescans, so
+    // they are bounded by the decoded total and can only exist when an
+    // incremental scan ran. Both counters are absent-when-zero.
+    double Incr = 0, Dirty = 0;
+    (void)findNumber(Text, "gadget.scans_incremental", Incr);
+    (void)findNumber(Text, "gadget.dirty_bytes", Dirty);
+    if (Dirty > Decoded) {
+      std::fprintf(stderr,
+                   "metrics_check: gadget.dirty_bytes %.0f exceeds "
+                   "gadget.bytes_decoded %.0f\n",
+                   Dirty, Decoded);
+      return 1;
+    }
+    if (Incr == 0 && Dirty != 0) {
+      std::fprintf(stderr,
+                   "metrics_check: gadget.dirty_bytes %.0f reported "
+                   "without any incremental scan\n",
+                   Dirty);
+      return 1;
+    }
+
+    // The gauge tracks incremental / (incremental + full) over the
+    // process lifetime, so it must agree with the counters.
+    double Full = 0, Fraction = 0;
+    if (!findNumber(Text, "gadget.scans_full", Full) ||
+        !findNumber(Text, "gadget.incremental_fraction", Fraction))
+      return fail("cannot read gadget scan counters");
+    if (Fraction < 0.0 || Fraction > 1.0) {
+      std::fprintf(stderr,
+                   "metrics_check: gadget.incremental_fraction %f is "
+                   "not a proportion\n",
+                   Fraction);
+      return 1;
+    }
+    double Expected = Incr + Full > 0 ? Incr / (Incr + Full) : 0.0;
+    if (Fraction > Expected + 1e-6 || Fraction < Expected - 1e-6) {
+      std::fprintf(stderr,
+                   "metrics_check: gadget.incremental_fraction %f "
+                   "disagrees with counters (%.0f incremental, %.0f "
+                   "full)\n",
+                   Fraction, Incr, Full);
+      return 1;
+    }
+  }
+
   std::string Suffix;
   if (Batch)
     Suffix += " (batch invariants hold)";
@@ -330,6 +410,8 @@ int main(int Argc, char **Argv) {
     Suffix += " (equiv invariants hold)";
   if (Transforms)
     Suffix += " (transforms invariants hold)";
+  if (Gadget)
+    Suffix += " (gadget invariants hold)";
   std::printf("metrics_check: %s OK%s\n", Argv[1], Suffix.c_str());
   return 0;
 }

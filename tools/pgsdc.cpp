@@ -48,6 +48,7 @@
 #include "verify/Verifier.h"
 #include "x86/Disasm.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -97,7 +98,11 @@ int usage() {
                "             observationally equivalent to the baseline\n"
                "             (translation validation; no execution); with\n"
                "             --suite, sweep the whole workload battery\n"
-               "  gadgets    scan gadgets / check attack feasibility\n"
+               "  gadgets    scan gadgets / check attack feasibility;\n"
+               "             with --seeds N, also sweep N diversified\n"
+               "             versions through the Survivor comparison\n"
+               "             (--jobs shards versions, --incremental\n"
+               "             seeds each scan from the baseline scan)\n"
                "  disasm     disassemble the linked image\n"
                "  nvx        run K diversified replicas in lockstep over\n"
                "             the input battery, voting on behaviour;\n"
@@ -124,12 +129,15 @@ int usage() {
                "  --variants N        variants per program (analyze,\n"
                "                      equiv)\n"
                "  --seeds N           batch size: seeds BASE..BASE+N-1\n"
+               "                      (batch; gadgets survivor sweep)\n"
                "  --jobs J            worker threads (default: all cores)\n"
+               "  --incremental       gadgets sweep: rescan only diffed\n"
+               "                      ranges of each variant image\n"
                "  --out-dir DIR       write each variant's .text (batch)\n"
                "  --metrics FILE      enable pipeline telemetry and write\n"
                "                      metrics JSON (run/verify/analyze/\n"
-               "                      batch/nvx; batch also prints a\n"
-               "                      stage breakdown table)\n"
+               "                      batch/nvx/gadgets; batch also\n"
+               "                      prints a stage breakdown table)\n"
                "  --no-opt            disable the -O2 pipeline\n"
                "  --replicas K        nvx replica count (default 3)\n"
                "  --policy P          nvx vote policy: majority (default)\n"
@@ -184,8 +192,10 @@ struct Options {
   unsigned Retries = 3;
   unsigned Variants = 3;
   mexec::Engine Engine = mexec::Engine::Fast;
-  unsigned Seeds = 8;      ///< Batch size (batch command).
+  unsigned Seeds = 8;      ///< Batch size (batch/gadgets commands).
+  bool SeedsSet = false;   ///< --seeds given (gadgets sweep trigger).
   unsigned Jobs = 0;       ///< Worker threads; 0 means all cores.
+  bool Incremental = false; ///< gadgets: incremental variant rescans.
   std::string OutDir;      ///< Where batch writes variant images.
   std::string MetricsFile; ///< Enable telemetry, write JSON here.
   unsigned Replicas = 3;   ///< nvx replica count.
@@ -277,6 +287,7 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      Opts.SeedsSet = true;
       if (Opts.Seeds == 0) {
         std::fprintf(stderr, "pgsdc: --seeds must be at least 1\n");
         return false;
@@ -337,6 +348,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       }
       Opts.Transforms = V;
       Opts.Pipe = diversity::Pipeline(std::move(Kinds));
+    } else if (Arg == "--incremental") {
+      Opts.Incremental = true;
     } else if (Arg == "--xchg") {
       Opts.Xchg = true;
     } else if (Arg == "--block-shift") {
@@ -1020,6 +1033,44 @@ int cmdGadgets(const Options &Opts) {
               Micro.Feasible ? "FEASIBLE" : "infeasible (missing: ",
               Micro.Feasible ? "" : Micro.Missing.c_str(),
               Micro.Feasible ? "" : ")");
+
+  // Survivor sweep mode: with --seeds N, build N diversified versions
+  // and run the multi-version Survivor comparison against the baseline,
+  // sharing one baseline scan (--jobs shards versions, --incremental
+  // seeds each version scan from the baseline scan). With --metrics the
+  // scanner's gadget.* telemetry lands in the exported JSON.
+  if (Opts.SeedsSet) {
+    diversity::DiversityOptions D = diversityOptions(Opts);
+    std::vector<std::vector<uint8_t>> Versions;
+    Versions.reserve(Opts.Seeds);
+    for (unsigned I = 0; I != Opts.Seeds; ++I)
+      Versions.push_back(
+          driver::makeVariant(P, Opts.Pipe, D, Opts.Seed + I).Image.Text);
+
+    gadget::ScanOptions Scan;
+    Scan.Incremental = Opts.Incremental;
+    Scan.Jobs = Opts.Jobs;
+    auto Survivors = gadget::survivingGadgetsMulti(Img.Text, Versions, Scan);
+
+    size_t Min = Survivors[0].size(), Max = Min, Sum = 0;
+    for (const auto &S : Survivors) {
+      Min = std::min(Min, S.size());
+      Max = std::max(Max, S.size());
+      Sum += S.size();
+    }
+    std::printf("survivor sweep: %u versions (seeds %llu..%llu), "
+                "transforms=%s, %s scan, jobs=%u\n",
+                Opts.Seeds,
+                static_cast<unsigned long long>(Opts.Seed),
+                static_cast<unsigned long long>(Opts.Seed + Opts.Seeds - 1),
+                Opts.Pipe.label().c_str(),
+                Opts.Incremental ? "incremental" : "full",
+                Opts.Jobs);
+    std::printf("surviving gadgets per version: mean %.1f, min %zu, "
+                "max %zu (of %zu baseline)\n",
+                static_cast<double>(Sum) / static_cast<double>(Opts.Seeds),
+                Min, Max, Gadgets.size());
+  }
   return 0;
 }
 
