@@ -1,0 +1,218 @@
+//===-- bench/serve_throughput.cpp - Cold vs. warm serving latency ----------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+// Measures the `pgsdc serve` daemon core (serve::serveVariants) in its
+// two steady states: a cold start that fills the content-addressed
+// store (diversify + verify + link + publish per request) and a warm
+// restart over the same store that must serve every request from disk.
+// The per-request p50/p99 latencies and variants/second of both passes
+// are recorded as JSON (BENCH_serve.json by default, or argv[1]).
+//
+// Knobs:
+//   PGSD_QUICK=1     -- 16 requests over a 3-workload subset (CI smoke).
+//   PGSD_REQUESTS=N  -- fleet size per workload (default 64).
+//   PGSD_JOBS=J      -- fill worker count (default 4).
+//
+// The bench enforces the restart contract while measuring: the warm
+// pass must be pure hits (zero fills), serve byte-identical digests,
+// and land a p50 strictly below the cold pass -- a cache that is not
+// faster than recompiling is a regression worth failing the bench over.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+#include "obs/Json.h"
+#include "serve/Server.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+using namespace pgsd;
+
+namespace {
+
+unsigned envUnsigned(const char *Name, unsigned Default) {
+  if (const char *V = std::getenv(Name)) {
+    int N = std::atoi(V);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return Default;
+}
+
+struct Row {
+  std::string Name;
+  serve::ServeResult Cold;
+  serve::ServeResult Warm;
+
+  double vps(const serve::ServeResult &R) const {
+    return R.WallSeconds > 0.0
+               ? static_cast<double>(R.Served) / R.WallSeconds
+               : 0.0;
+  }
+};
+
+void appendJsonRow(std::string &Out, const Row &R, bool Last) {
+  Out += "    {\"name\": " + obs::jsonString(R.Name) +
+         ", \"requests\": " + obs::jsonUInt(R.Cold.Served) +
+         ", \"distinct\": " + obs::jsonUInt(R.Cold.DistinctVariants) +
+         ", \"cold_wall_s\": " + obs::jsonNumber(R.Cold.WallSeconds, 4) +
+         ", \"cold_p50_s\": " +
+         obs::jsonNumber(R.Cold.P50LatencySeconds, 6) +
+         ", \"cold_p99_s\": " +
+         obs::jsonNumber(R.Cold.P99LatencySeconds, 6) +
+         ", \"cold_vps\": " + obs::jsonNumber(R.vps(R.Cold), 2) +
+         ", \"warm_wall_s\": " + obs::jsonNumber(R.Warm.WallSeconds, 4) +
+         ", \"warm_p50_s\": " +
+         obs::jsonNumber(R.Warm.P50LatencySeconds, 6) +
+         ", \"warm_p99_s\": " +
+         obs::jsonNumber(R.Warm.P99LatencySeconds, 6) +
+         ", \"warm_vps\": " + obs::jsonNumber(R.vps(R.Warm), 2) +
+         ", \"warm_hits\": " + obs::jsonUInt(R.Warm.Hits) + "}" +
+         (Last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_serve.json";
+  bool Quick = [] {
+    const char *Q = std::getenv("PGSD_QUICK");
+    return Q && Q[0] == '1';
+  }();
+  unsigned Requests = envUnsigned("PGSD_REQUESTS", Quick ? 16 : 64);
+  unsigned Jobs = envUnsigned("PGSD_JOBS", 4);
+
+  const std::vector<workloads::Workload> &Suite = workloads::specSuite();
+  size_t NumWorkloads =
+      Quick ? std::min<size_t>(3, Suite.size()) : Suite.size();
+
+  fs::path Root = fs::temp_directory_path() /
+                  ("pgsd-bench-serve-" + std::to_string(::getpid()));
+  std::error_code EC;
+  fs::remove_all(Root, EC);
+
+  std::vector<Row> Rows;
+  double ColdTotal = 0, WarmTotal = 0;
+  for (size_t WI = 0; WI != NumWorkloads; ++WI) {
+    const workloads::Workload &W = Suite[WI];
+    driver::Program P = driver::compileProgram(W.Source, W.Name);
+    if (!P.ok()) {
+      std::fprintf(stderr, "serve_throughput: %s failed to compile:\n%s",
+                   W.Name.c_str(), P.errors().c_str());
+      return 1;
+    }
+    if (!driver::profileAndStamp(P, W.TrainInput)) {
+      std::fprintf(stderr, "serve_throughput: %s training run trapped\n",
+                   W.Name.c_str());
+      return 1;
+    }
+
+    serve::ServeOptions O;
+    O.StoreDir = (Root / W.Name).string();
+    O.Requests = Requests;
+    O.BaseSeed = 0xba7c0000ull + WI * 1000;
+    O.Jobs = Jobs;
+    // One bounded battery input per variant: the cold pass should be
+    // dominated by the serving pipeline, not by interpreting the
+    // hottest workloads eight times per request.
+    O.Verify.InputBattery = {W.TrainInput};
+    O.Diversity = diversity::DiversityOptions::profiled(
+        diversity::ProbabilityModel::Log, 0.0, 0.3);
+
+    Row R;
+    R.Name = W.Name;
+    R.Cold = serve::serveVariants(P, O);
+    R.Warm = serve::serveVariants(P, O);
+    for (const serve::ServeResult *S : {&R.Cold, &R.Warm})
+      if (!S->ok() || S->Failed || S->Shed) {
+        std::fprintf(stderr, "serve_throughput: %s: serve failed: %s\n",
+                     W.Name.c_str(),
+                     S->Error.empty() ? "requests failed or shed"
+                                      : S->Error.c_str());
+        return 1;
+      }
+
+    // Restart contract: all hits, identical artifacts, and a warm p50
+    // strictly below cold (the whole point of the persistent store).
+    if (R.Warm.Hits != Requests || R.Warm.Fills != 0) {
+      std::fprintf(stderr,
+                   "serve_throughput: %s: warm pass not pure hits "
+                   "(%llu hits, %llu fills)\n",
+                   W.Name.c_str(),
+                   static_cast<unsigned long long>(R.Warm.Hits),
+                   static_cast<unsigned long long>(R.Warm.Fills));
+      return 1;
+    }
+    for (size_t I = 0; I != R.Cold.Requests.size(); ++I)
+      if (R.Cold.Requests[I].TextDigest != R.Warm.Requests[I].TextDigest) {
+        std::fprintf(stderr,
+                     "serve_throughput: %s: warm digest diverges at "
+                     "request %zu\n",
+                     W.Name.c_str(), I);
+        return 1;
+      }
+    if (R.Warm.P50LatencySeconds >= R.Cold.P50LatencySeconds) {
+      std::fprintf(stderr,
+                   "serve_throughput: %s: warm p50 %.6fs not below cold "
+                   "p50 %.6fs\n",
+                   W.Name.c_str(), R.Warm.P50LatencySeconds,
+                   R.Cold.P50LatencySeconds);
+      return 1;
+    }
+
+    ColdTotal += R.Cold.WallSeconds;
+    WarmTotal += R.Warm.WallSeconds;
+    std::printf("%-16s %3u requests: cold %.3fs (p50 %.6fs, p99 %.6fs), "
+                "warm %.3fs (p50 %.6fs, p99 %.6fs), %llu distinct\n",
+                W.Name.c_str(), Requests, R.Cold.WallSeconds,
+                R.Cold.P50LatencySeconds, R.Cold.P99LatencySeconds,
+                R.Warm.WallSeconds, R.Warm.P50LatencySeconds,
+                R.Warm.P99LatencySeconds,
+                static_cast<unsigned long long>(R.Cold.DistinctVariants));
+    Rows.push_back(std::move(R));
+  }
+  fs::remove_all(Root, EC);
+
+  double Ratio = WarmTotal > 0 ? ColdTotal / WarmTotal : 0.0;
+  std::printf("total: cold %.3fs, warm %.3fs, restart speedup %.1fx "
+              "(%u jobs, %u hardware threads)\n",
+              ColdTotal, WarmTotal, Ratio, Jobs,
+              support::ThreadPool::defaultConcurrency());
+
+  std::string Json;
+  Json += "{\n";
+  Json += "  \"jobs\": " + obs::jsonUInt(Jobs) + ",\n";
+  Json += "  \"hardware_concurrency\": " +
+          obs::jsonUInt(support::ThreadPool::defaultConcurrency()) + ",\n";
+  Json += "  \"requests_per_workload\": " + obs::jsonUInt(Requests) + ",\n";
+  Json += "  \"total_cold_wall_s\": " + obs::jsonNumber(ColdTotal, 4) +
+          ",\n";
+  Json += "  \"total_warm_wall_s\": " + obs::jsonNumber(WarmTotal, 4) +
+          ",\n";
+  Json += "  \"restart_speedup\": " + obs::jsonNumber(Ratio, 3) +
+          ",\n  \"workloads\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I)
+    appendJsonRow(Json, Rows[I], I + 1 == Rows.size());
+  Json += "  ]\n}\n";
+
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "serve_throughput: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fputs(Json.c_str(), Out);
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

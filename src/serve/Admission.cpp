@@ -1,0 +1,82 @@
+//===-- serve/Admission.cpp - Bounded admission queue ----------------------===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Admission.h"
+
+#include <chrono>
+#include <utility>
+
+using namespace pgsd;
+using namespace pgsd::serve;
+
+AdmissionQueue::AdmissionQueue(support::ThreadPool &P, unsigned Capacity)
+    : Pool(P), Cap(Capacity == 0 ? 1 : Capacity) {}
+
+bool AdmissionQueue::submit(std::function<void()> Task, double WaitSeconds) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (InFlight >= Cap) {
+      auto Deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              WaitSeconds > 0 ? WaitSeconds : 0.0));
+      // Bounded backpressure: wait for a slot until the deadline, then
+      // shed. wait_until handles spurious wakeups via the predicate.
+      if (!SlotFree.wait_until(Lock, Deadline,
+                               [&] { return InFlight < Cap; })) {
+        ++Shed;
+        return false;
+      }
+    }
+    ++InFlight;
+    ++Admitted;
+    if (InFlight > Peak)
+      Peak = InFlight;
+  }
+  Pool.enqueue([this, Task = std::move(Task)] {
+    // The slot must free even when Task throws -- otherwise one failing
+    // request would permanently shrink the queue's capacity.
+    struct SlotGuard {
+      AdmissionQueue *Q;
+      ~SlotGuard() {
+        std::lock_guard<std::mutex> Lock(Q->Mutex);
+        --Q->InFlight;
+        Q->SlotFree.notify_one();
+        if (Q->InFlight == 0)
+          Q->Idle.notify_all();
+      }
+    } Guard{this};
+    Task();
+  });
+  return true;
+}
+
+void AdmissionQueue::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [&] { return InFlight == 0; });
+}
+
+unsigned AdmissionQueue::inFlight() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return InFlight;
+}
+
+unsigned AdmissionQueue::peakDepth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Peak;
+}
+
+uint64_t AdmissionQueue::admitted() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Admitted;
+}
+
+uint64_t AdmissionQueue::shed() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Shed;
+}

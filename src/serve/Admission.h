@@ -1,0 +1,87 @@
+//===-- serve/Admission.h - Bounded admission queue --------------*- C++ -*-===//
+//
+// Part of the PGSD project, a reproduction of "Profile-guided Automated
+// Software Diversity" (Homescu et al., CGO 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded admission on top of support::ThreadPool. The pool's own queue
+/// is unbounded -- correct for the batch factory, which owns its whole
+/// work list up front, but wrong for a daemon facing an open request
+/// stream: a burst would queue without limit until the process OOMs.
+/// AdmissionQueue caps the number of admitted-but-unfinished tasks at a
+/// fixed capacity; a submitter hitting the cap first *waits* (bounded
+/// backpressure -- the client sees latency), and when the wait budget
+/// runs out the request is *shed* (the client sees a rejection). The
+/// degradation order under load is therefore queueing, then rejection,
+/// never unbounded memory growth.
+///
+/// Thread-safety: submit() may be called from any number of threads;
+/// completions on pool workers signal waiting submitters. drain() is the
+/// submitters' barrier -- it returns once every admitted task finished
+/// (it does not rethrow task exceptions; call ThreadPool::wait for
+/// those, as the pool still owns exception propagation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PGSD_SERVE_ADMISSION_H
+#define PGSD_SERVE_ADMISSION_H
+
+#include "support/ThreadPool.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace pgsd {
+namespace serve {
+
+/// Caps in-flight (queued + executing) tasks at \p Capacity.
+class AdmissionQueue {
+public:
+  /// \p Capacity is clamped to at least 1 (a queue that can never admit
+  /// anything would turn every request into a rejection).
+  AdmissionQueue(support::ThreadPool &Pool, unsigned Capacity);
+
+  AdmissionQueue(const AdmissionQueue &) = delete;
+  AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+  /// Admits \p Task when a slot is free, waiting up to \p WaitSeconds
+  /// for one (0 never waits). Returns false when the request was shed;
+  /// the task then never runs. An admitted task's slot frees when the
+  /// task finishes, even if it throws (the exception stays with the
+  /// pool's first-error propagation).
+  bool submit(std::function<void()> Task, double WaitSeconds);
+
+  /// Blocks until every admitted task has finished.
+  void drain();
+
+  unsigned capacity() const { return Cap; }
+
+  /// Currently admitted-but-unfinished tasks.
+  unsigned inFlight() const;
+
+  /// High-water mark of inFlight() over the queue's lifetime.
+  unsigned peakDepth() const;
+
+  uint64_t admitted() const;
+  uint64_t shed() const;
+
+private:
+  support::ThreadPool &Pool;
+  const unsigned Cap;
+  mutable std::mutex Mutex;
+  std::condition_variable SlotFree; ///< Signaled on task completion.
+  std::condition_variable Idle;     ///< Signaled when InFlight hits 0.
+  unsigned InFlight = 0;
+  unsigned Peak = 0;
+  uint64_t Admitted = 0;
+  uint64_t Shed = 0;
+};
+
+} // namespace serve
+} // namespace pgsd
+
+#endif // PGSD_SERVE_ADMISSION_H

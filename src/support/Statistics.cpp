@@ -58,6 +58,24 @@ uint64_t pgsd::medianCount(std::vector<uint64_t> Values) {
   return Values[Mid];
 }
 
+double pgsd::percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  if (P <= 0.0)
+    return Values.front();
+  if (P >= 100.0)
+    return Values.back();
+  // Linear interpolation between closest ranks (the R-7 / NumPy default
+  // definition): rank = P/100 * (N-1), blended between floor and ceil.
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  double Frac = Rank - static_cast<double>(Lo);
+  if (Lo + 1 >= Values.size())
+    return Values.back();
+  return Values[Lo] + Frac * (Values[Lo + 1] - Values[Lo]);
+}
+
 double pgsd::sampleStdDev(const std::vector<double> &Values) {
   if (Values.size() < 2)
     return 0.0;

@@ -42,6 +42,12 @@ uint64_t medianCount(std::vector<uint64_t> Values);
 /// Sample standard deviation; 0 when fewer than two values are present.
 double sampleStdDev(const std::vector<double> &Values);
 
+/// The \p P-th percentile (0 <= P <= 100) of \p Values by linear
+/// interpolation between closest ranks; 0 for an empty input. percentile
+/// (V, 50) equals the interpolated median; percentile(V, 99) is the tail
+/// latency figure the serve daemon reports.
+double percentile(std::vector<double> Values, double P);
+
 } // namespace pgsd
 
 #endif // PGSD_SUPPORT_STATISTICS_H

@@ -63,11 +63,34 @@ public:
   /// cache was built with). Safe to call concurrently.
   const mexec::RunResult &baselineRun(size_t Index) const;
 
+  /// Persistence hooks (serve::VariantStore round trip).
+  ///
+  /// prewarm() installs \p R as entry \p Index without executing the
+  /// baseline -- the restart path of a persistent daemon: baseline runs
+  /// recorded by a previous process are re-published into the fresh
+  /// cache, so verification fills after the restart skip baseline
+  /// execution entirely. Races benignly with concurrent baselineRun()
+  /// fills (whoever gets the once_flag wins; both compute the same pure
+  /// function). Returns true when this call installed the entry.
+  bool prewarm(size_t Index, const mexec::RunResult &R);
+
+  /// The already-computed entry for \p Index, or nullptr when it has
+  /// not filled yet -- the export half of persistence: a daemon
+  /// snapshots exactly the entries it actually computed, without
+  /// forcing the rest of the battery to execute. Safe to call
+  /// concurrently with fills.
+  const mexec::RunResult *peek(size_t Index) const;
+
   /// Requests served from an already-filled entry.
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
 
   /// Requests that computed the entry (at most battery().size()).
   uint64_t fills() const { return Fills.load(std::memory_order_relaxed); }
+
+  /// Entries installed by prewarm() rather than computed.
+  uint64_t prewarmed() const {
+    return Prewarmed.load(std::memory_order_relaxed);
+  }
 
 private:
   const mir::MModule *Baseline;
@@ -80,6 +103,7 @@ private:
   std::unique_ptr<Entry[]> Entries;
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Fills{0};
+  std::atomic<uint64_t> Prewarmed{0};
 };
 
 } // namespace verify

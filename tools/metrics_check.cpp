@@ -6,7 +6,7 @@
 // Standalone validator for pgsd-metrics-v1 files:
 //
 //   metrics_check metrics.json [--batch] [--nvx] [--equiv] [--transforms]
-//                              [--gadget]
+//                              [--gadget] [--serve]
 //
 // Checks, in order:
 //  1. The file is syntactically valid JSON (obs::validateJson, the same
@@ -43,6 +43,12 @@
 //     whole image, a rescan strictly less), dirty bytes only accumulate
 //     from incremental scans, and the incremental-fraction gauge must
 //     be a valid proportion.
+//  8. With --serve (the file came from `pgsdc serve --metrics`): the
+//     per-request outcome counters must partition serve.requests
+//     exactly (served + shed + failed = requests, with served =
+//     cache_hits + cache_fills), the request-latency histogram must
+//     have observed exactly one value per served request, and the
+//     queue's peak depth can never exceed its capacity.
 //
 // Exit 0 on success, 1 with a diagnostic on the first failed check.
 // Key lookups scan for the literal `"<key>": ` the deterministic obs
@@ -91,11 +97,12 @@ bool hasKey(const std::string &Text, const std::string &Key) {
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
     std::fprintf(stderr, "usage: metrics_check <metrics.json> [--batch] "
-                         "[--nvx] [--equiv] [--transforms] [--gadget]\n");
+                         "[--nvx] [--equiv] [--transforms] [--gadget] "
+                         "[--serve]\n");
     return 1;
   }
   bool Batch = false, Nvx = false, Equiv = false, Transforms = false,
-       Gadget = false;
+       Gadget = false, Serve = false;
   for (int I = 2; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--batch") == 0)
       Batch = true;
@@ -107,6 +114,8 @@ int main(int Argc, char **Argv) {
       Transforms = true;
     else if (std::strcmp(Argv[I], "--gadget") == 0)
       Gadget = true;
+    else if (std::strcmp(Argv[I], "--serve") == 0)
+      Serve = true;
     else
       return fail(std::string("unknown option '") + Argv[I] + "'");
   }
@@ -401,6 +410,82 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (Serve) {
+    // Every serve.* family is exported unconditionally (zero-valued
+    // counters included), so absence is always a schema failure.
+    for (const char *Key :
+         {"serve.requests", "serve.served", "serve.cache_hits",
+          "serve.cache_fills", "serve.shed", "serve.failed",
+          "serve.store_corrupt", "serve.queue_capacity",
+          "serve.queue_peak_depth"})
+      if (!hasKey(Text, Key))
+        return fail(std::string("serve metrics missing \"") + Key +
+                    "\"");
+
+    // Every request ends exactly one way: served (from the store or a
+    // fresh fill), shed by admission control, or failed. The outcome
+    // counters must partition serve.requests.
+    double Requests = 0, Served = 0, Hits = 0, Fills = 0, Shed = 0,
+           Failed = 0;
+    if (!findNumber(Text, "serve.requests", Requests) ||
+        !findNumber(Text, "serve.served", Served) ||
+        !findNumber(Text, "serve.cache_hits", Hits) ||
+        !findNumber(Text, "serve.cache_fills", Fills) ||
+        !findNumber(Text, "serve.shed", Shed) ||
+        !findNumber(Text, "serve.failed", Failed))
+      return fail("cannot read serve request counters");
+    if (Hits + Fills > Requests) {
+      std::fprintf(stderr,
+                   "metrics_check: serve.cache_hits %.0f + "
+                   "serve.cache_fills %.0f exceed serve.requests %.0f\n",
+                   Hits, Fills, Requests);
+      return 1;
+    }
+    if (Hits + Fills != Served) {
+      std::fprintf(stderr,
+                   "metrics_check: serve.cache_hits %.0f + "
+                   "serve.cache_fills %.0f do not equal serve.served "
+                   "%.0f\n",
+                   Hits, Fills, Served);
+      return 1;
+    }
+    if (Served + Shed + Failed != Requests) {
+      std::fprintf(stderr,
+                   "metrics_check: serve outcome counters %.0f + %.0f + "
+                   "%.0f do not partition serve.requests %.0f\n",
+                   Served, Shed, Failed, Requests);
+      return 1;
+    }
+
+    // One latency observation per served request; a run that served
+    // nothing legitimately exports no histogram.
+    double HistTotal = 0;
+    size_t HistPos = Text.find("\"serve.request_latency_seconds\"");
+    if (HistPos != std::string::npos &&
+        !findNumber(Text.substr(HistPos), "total", HistTotal))
+      return fail("cannot read serve.request_latency_seconds total");
+    if (HistTotal != Served) {
+      std::fprintf(stderr,
+                   "metrics_check: serve.request_latency_seconds total "
+                   "%.0f disagrees with serve.served %.0f\n",
+                   HistTotal, Served);
+      return 1;
+    }
+
+    // Admission control's high-water mark is bounded by its capacity.
+    double Capacity = 0, Peak = 0;
+    if (!findNumber(Text, "serve.queue_capacity", Capacity) ||
+        !findNumber(Text, "serve.queue_peak_depth", Peak))
+      return fail("cannot read serve queue gauges");
+    if (Peak > Capacity) {
+      std::fprintf(stderr,
+                   "metrics_check: serve.queue_peak_depth %.0f exceeds "
+                   "serve.queue_capacity %.0f\n",
+                   Peak, Capacity);
+      return 1;
+    }
+  }
+
   std::string Suffix;
   if (Batch)
     Suffix += " (batch invariants hold)";
@@ -412,6 +497,8 @@ int main(int Argc, char **Argv) {
     Suffix += " (transforms invariants hold)";
   if (Gadget)
     Suffix += " (gadget invariants hold)";
+  if (Serve)
+    Suffix += " (serve invariants hold)";
   std::printf("metrics_check: %s OK%s\n", Argv[1], Suffix.c_str());
   return 0;
 }

@@ -22,12 +22,14 @@
 //   pgsdc disasm file.minic
 //   pgsdc nvx file.minic [--replicas K] [--policy majority|unanimous]
 //         [--seed BASE] [--jobs J] [--timeout S] [...as above]
+//   pgsdc serve file.minic --store DIR [--requests N] [--seed BASE]
+//         [--jobs J] [--queue-depth Q] [--admit-wait S] [...as above]
 //
 // Exit codes form a small taxonomy so scripts can tell failure modes
 // apart (see ExitCode below): 2 usage, 3 parse, 4 file I/O, 5 trap,
 // 6 verification failure, 7 bad profile, 8 static analysis rejected,
-// 9 nvx no-quorum, 10 equivalence refuted; `run` passes the simulated
-// program's own exit code through.
+// 9 nvx no-quorum, 10 equivalence refuted, 11 serve shed requests;
+// `run` passes the simulated program's own exit code through.
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,15 +46,21 @@
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "profile/Profile.h"
+#include "serve/Server.h"
 #include "support/TablePrinter.h"
 #include "verify/Verifier.h"
 #include "x86/Disasm.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -75,6 +83,7 @@ enum ExitCode : int {
   ExitAnalysisFailed = 8, ///< Static analyzer rejected the MIR.
   ExitNoQuorum = 9,       ///< nvx: a lockstep round had no quorum.
   ExitEquivRefuted = 10,  ///< Translation validation refuted a variant.
+  ExitServeShed = 11,     ///< serve: requests shed under overload.
 };
 
 int usage() {
@@ -107,6 +116,11 @@ int usage() {
                "  nvx        run K diversified replicas in lockstep over\n"
                "             the input battery, voting on behaviour;\n"
                "             divergence is reported as a fault sensor\n"
+               "  serve      daemon loop: compile + profile once, then\n"
+               "             serve one verified variant per request from\n"
+               "             a persistent content-addressed store\n"
+               "             (--store DIR); restarts resume on cache\n"
+               "             hits, overload sheds requests (exit 11)\n"
                "\n"
                "options:\n"
                "  --input \"1 2 3\"    integers fed to read_int()\n"
@@ -136,19 +150,26 @@ int usage() {
                "  --out-dir DIR       write each variant's .text (batch)\n"
                "  --metrics FILE      enable pipeline telemetry and write\n"
                "                      metrics JSON (run/verify/analyze/\n"
-               "                      batch/nvx/gadgets; batch also\n"
-               "                      prints a stage breakdown table)\n"
+               "                      batch/nvx/gadgets/serve; batch and\n"
+               "                      serve also print a stage breakdown\n"
+               "                      table)\n"
                "  --no-opt            disable the -O2 pipeline\n"
                "  --replicas K        nvx replica count (default 3)\n"
                "  --policy P          nvx vote policy: majority (default)\n"
                "                      | unanimous\n"
                "  --timeout S         nvx per-round wall-clock budget in\n"
                "                      seconds (default 5; 0 disables)\n"
+               "  --store DIR         serve: persistent variant store\n"
+               "  --requests N        serve: request count (default 64)\n"
+               "  --queue-depth Q     serve: admission slots beyond the\n"
+               "                      workers (default 16)\n"
+               "  --admit-wait S      serve: backpressure wait budget\n"
+               "                      before shedding (default 30)\n"
                "\n"
                "exit codes: 0 ok, 2 usage, 3 parse error, 4 file I/O,\n"
                "  5 program trapped, 6 verification failed, 7 bad profile,\n"
                "  8 static analysis rejected, 9 nvx no-quorum,\n"
-               "  10 equivalence refuted\n");
+               "  10 equivalence refuted, 11 serve shed requests\n");
   return ExitUsage;
 }
 
@@ -167,16 +188,78 @@ bool writeFile(const std::string &Path, const std::string &Data) {
   if (!Out)
     return false;
   Out << Data;
+  // operator<< alone can leave a failure sitting in the stream buffer
+  // (a full disk surfaces at flush time); without this, good() reported
+  // success for data that never reached the file.
+  Out.flush();
   return Out.good();
 }
 
-std::vector<int32_t> parseInput(const std::string &Text) {
-  std::vector<int32_t> Values;
+/// Strict full-token parse of an unsigned decimal. Rejects empty input,
+/// trailing garbage, a leading '-' (strtoull silently *wraps* negatives
+/// instead of failing), and out-of-range values.
+bool parseUint64Strict(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  for (const char *C = Text; *C; ++C)
+    if (!std::isdigit(static_cast<unsigned char>(*C)) &&
+        !(C == Text && *C == '+'))
+      return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseUnsignedStrict(const char *Text, unsigned &Out) {
+  uint64_t V = 0;
+  if (!parseUint64Strict(Text, V) ||
+      V > std::numeric_limits<unsigned>::max())
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Strict full-token parse of a finite double (no trailing garbage, no
+/// overflow-to-inf, no nan).
+bool parseDoubleStrict(const char *Text, double &Out) {
+  if (!Text || !*Text)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || errno == ERANGE || !std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses --input as whitespace-separated 32-bit integers. Rejects
+/// non-numeric tokens and values outside int32 range -- the old lenient
+/// scan silently *truncated* out-of-range values (static_cast wrap) and
+/// dropped trailing garbage, so "4294967296" fed the program 0 and
+/// "1 2 x" fed it "1 2". On failure \p BadToken names the offender.
+bool parseInput(const std::string &Text, std::vector<int32_t> &Values,
+                std::string &BadToken) {
+  Values.clear();
   std::istringstream SS(Text);
-  long long V;
-  while (SS >> V)
+  std::string Tok;
+  while (SS >> Tok) {
+    errno = 0;
+    char *End = nullptr;
+    long long V = std::strtoll(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0' || errno == ERANGE ||
+        V < std::numeric_limits<int32_t>::min() ||
+        V > std::numeric_limits<int32_t>::max()) {
+      BadToken = Tok;
+      return false;
+    }
     Values.push_back(static_cast<int32_t>(V));
-  return Values;
+  }
+  return true;
 }
 
 struct Options {
@@ -201,6 +284,10 @@ struct Options {
   unsigned Replicas = 3;   ///< nvx replica count.
   nvx::VotePolicy Policy = nvx::VotePolicy::Majority;
   double TimeoutSeconds = 5.0; ///< nvx per-round wall budget.
+  uint64_t Requests = 64;  ///< serve: request count.
+  std::string StoreDir;    ///< serve: persistent store root.
+  unsigned QueueDepth = 16; ///< serve: admission slots beyond workers.
+  double AdmitWaitSeconds = 30.0; ///< serve: backpressure budget.
   bool Xchg = false;
   bool BlockShift = false;
   bool Optimize = true;
@@ -217,6 +304,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::string Arg = Argv[I];
     auto Value = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    // Numeric flags parse strictly: "8x", "1e99", "-3", and overflow
+    // all fail the command line (exit 2) instead of silently feeding
+    // the pipeline a wrapped or truncated value.
+    auto BadValue = [&](const char *V) {
+      std::fprintf(stderr, "pgsdc: invalid value '%s' for %s\n", V,
+                   Arg.c_str());
+      return false;
     };
     if (Arg == "--input") {
       const char *V = Value();
@@ -237,17 +332,22 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Seed = std::strtoull(V, nullptr, 10);
+      if (!parseUint64Strict(V, Opts.Seed))
+        return BadValue(V);
     } else if (Arg == "--pmin") {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.PMin = std::strtod(V, nullptr) / 100.0;
+      if (!parseDoubleStrict(V, Opts.PMin) || Opts.PMin < 0.0)
+        return BadValue(V);
+      Opts.PMin /= 100.0;
     } else if (Arg == "--pmax") {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.PMax = std::strtod(V, nullptr) / 100.0;
+      if (!parseDoubleStrict(V, Opts.PMax) || Opts.PMax < 0.0)
+        return BadValue(V);
+      Opts.PMax /= 100.0;
     } else if (Arg == "--model") {
       const char *V = Value();
       if (!V)
@@ -270,8 +370,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Retries =
-          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!parseUnsignedStrict(V, Opts.Retries))
+        return BadValue(V);
       if (Opts.Retries == 0) {
         std::fprintf(stderr, "pgsdc: --retries must be at least 1\n");
         return false;
@@ -280,13 +380,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Variants =
-          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!parseUnsignedStrict(V, Opts.Variants))
+        return BadValue(V);
     } else if (Arg == "--seeds") {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!parseUnsignedStrict(V, Opts.Seeds))
+        return BadValue(V);
       Opts.SeedsSet = true;
       if (Opts.Seeds == 0) {
         std::fprintf(stderr, "pgsdc: --seeds must be at least 1\n");
@@ -296,7 +397,32 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!parseUnsignedStrict(V, Opts.Jobs))
+        return BadValue(V);
+    } else if (Arg == "--requests") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      if (!parseUint64Strict(V, Opts.Requests))
+        return BadValue(V);
+    } else if (Arg == "--store") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      Opts.StoreDir = V;
+    } else if (Arg == "--queue-depth") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      if (!parseUnsignedStrict(V, Opts.QueueDepth))
+        return BadValue(V);
+    } else if (Arg == "--admit-wait") {
+      const char *V = Value();
+      if (!V)
+        return false;
+      if (!parseDoubleStrict(V, Opts.AdmitWaitSeconds) ||
+          Opts.AdmitWaitSeconds < 0.0)
+        return BadValue(V);
     } else if (Arg == "--out-dir") {
       const char *V = Value();
       if (!V)
@@ -311,8 +437,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.Replicas =
-          static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (!parseUnsignedStrict(V, Opts.Replicas))
+        return BadValue(V);
       if (Opts.Replicas == 0) {
         std::fprintf(stderr, "pgsdc: --replicas must be at least 1\n");
         return false;
@@ -329,7 +455,9 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Value();
       if (!V)
         return false;
-      Opts.TimeoutSeconds = std::strtod(V, nullptr);
+      if (!parseDoubleStrict(V, Opts.TimeoutSeconds) ||
+          Opts.TimeoutSeconds < 0.0)
+        return BadValue(V);
     } else if (Arg == "--transforms" ||
                Arg.rfind("--transforms=", 0) == 0) {
       const char *V;
@@ -421,12 +549,27 @@ int loadProgram(const Options &Opts, driver::Program &P) {
   return ExitOK;
 }
 
+/// Parses Opts.InputText strictly into \p Out. Returns ExitOK or prints
+/// the offending token and returns ExitParse.
+int parseInputChecked(const Options &Opts, std::vector<int32_t> &Out) {
+  std::string Bad;
+  if (!parseInput(Opts.InputText, Out, Bad)) {
+    std::fprintf(stderr,
+                 "pgsdc: --input: '%s' is not a 32-bit integer\n",
+                 Bad.c_str());
+    return ExitParse;
+  }
+  return ExitOK;
+}
+
 int cmdRun(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
     return Err;
-  mexec::RunResult R =
-      driver::execute(P.MIR, parseInput(Opts.InputText), true, Opts.Engine);
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
+  mexec::RunResult R = driver::execute(P.MIR, Input, true, Opts.Engine);
   std::fputs(R.Output.c_str(), stdout);
   if (R.Trapped) {
     std::fprintf(stderr, "pgsdc: program trapped (%s): %s\n",
@@ -445,7 +588,8 @@ int cmdProfile(const Options &Opts) {
   if (int Err = loadProgram(Opts, P))
     return Err;
   mexec::RunOptions Run;
-  Run.Input = parseInput(Opts.InputText);
+  if (int Err = parseInputChecked(Opts, Run.Input))
+    return Err;
   profile::ProfileData Data = profile::profileModule(P.MIR, Run);
   if (Data.empty()) {
     std::fprintf(stderr, "pgsdc: training run trapped\n");
@@ -498,6 +642,9 @@ void printPipelineStats(const diversity::Pipeline &Pipe,
 /// `diversify --transforms=...`: build the variant through the
 /// composable pipeline, report per-transform stats, then verify it.
 int cmdDiversifyPipeline(const Options &Opts, driver::Program &P) {
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
   codegen::Image Base = driver::linkBaseline(P);
   auto BaseGadgets =
       gadget::scanGadgets(Base.Text.data(), Base.Text.size());
@@ -530,9 +677,8 @@ int cmdDiversifyPipeline(const Options &Opts, driver::Program &P) {
     return ExitVerifyFailed;
   }
 
-  mexec::RunResult RBase =
-      driver::execute(P.MIR, parseInput(Opts.InputText));
-  mexec::RunResult RVar = driver::execute(V, parseInput(Opts.InputText));
+  mexec::RunResult RBase = driver::execute(P.MIR, Input);
+  mexec::RunResult RVar = driver::execute(V, Input);
   if (!RBase.Trapped && !RVar.Trapped) {
     std::printf("slowdown on given input: %+.2f%% (checksums %s)\n",
                 100.0 * (RVar.cycles() / RBase.cycles() - 1.0),
@@ -549,6 +695,9 @@ int cmdDiversify(const Options &Opts) {
     return Err;
   if (!Opts.Transforms.empty())
     return cmdDiversifyPipeline(Opts, P);
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
   codegen::Image Base = driver::linkBaseline(P);
   auto BaseGadgets =
       gadget::scanGadgets(Base.Text.data(), Base.Text.size());
@@ -589,9 +738,8 @@ int cmdDiversify(const Options &Opts) {
     return ExitVerifyFailed;
   }
 
-  mexec::RunResult RBase =
-      driver::execute(P.MIR, parseInput(Opts.InputText));
-  mexec::RunResult RVar = driver::execute(V, parseInput(Opts.InputText));
+  mexec::RunResult RBase = driver::execute(P.MIR, Input);
+  mexec::RunResult RVar = driver::execute(V, Input);
   if (!RBase.Trapped && !RVar.Trapped) {
     std::printf("slowdown on given input: %+.2f%% (checksums %s)\n",
                 100.0 * (RVar.cycles() / RBase.cycles() - 1.0),
@@ -681,10 +829,13 @@ int cmdBatch(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
     return Err;
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
   if (!Opts.InputText.empty() && !P.HasProfile) {
     // --input doubles as the training set: profile once, share the
     // stamped counts with every worker.
-    if (!driver::profileAndStamp(P, parseInput(Opts.InputText))) {
+    if (!driver::profileAndStamp(P, Input)) {
       std::fprintf(stderr, "pgsdc: training run trapped\n");
       return ExitTrap;
     }
@@ -954,9 +1105,12 @@ int cmdNvx(const Options &Opts) {
   driver::Program P;
   if (int Err = loadProgram(Opts, P))
     return Err;
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
   if (!Opts.InputText.empty() && !P.HasProfile) {
     // Like batch, --input doubles as the training set.
-    if (!driver::profileAndStamp(P, parseInput(Opts.InputText))) {
+    if (!driver::profileAndStamp(P, Input)) {
       std::fprintf(stderr, "pgsdc: training run trapped\n");
       return ExitTrap;
     }
@@ -1000,6 +1154,78 @@ int cmdNvx(const Options &Opts) {
                  static_cast<unsigned long long>(R.NoQuorumRounds),
                  nvx::votePolicyName(Opts.Policy));
     return ExitNoQuorum;
+  }
+  return ExitOK;
+}
+
+int cmdServe(const Options &Opts) {
+  if (Opts.StoreDir.empty()) {
+    std::fprintf(stderr, "pgsdc: serve requires --store DIR\n");
+    return ExitUsage;
+  }
+  driver::Program P;
+  if (int Err = loadProgram(Opts, P))
+    return Err;
+  std::vector<int32_t> Input;
+  if (int Err = parseInputChecked(Opts, Input))
+    return Err;
+  if (!Opts.InputText.empty() && !P.HasProfile) {
+    // Like batch, --input doubles as the training set: compile and
+    // profile once, then serve the whole fleet from the stamped MIR.
+    if (!driver::profileAndStamp(P, Input)) {
+      std::fprintf(stderr, "pgsdc: training run trapped\n");
+      return ExitTrap;
+    }
+  }
+
+  serve::ServeOptions S;
+  S.StoreDir = Opts.StoreDir;
+  S.Requests = Opts.Requests;
+  S.BaseSeed = Opts.Seed;
+  S.Jobs = Opts.Jobs;
+  S.QueueDepth = Opts.QueueDepth;
+  S.AdmitWaitSeconds = Opts.AdmitWaitSeconds;
+  S.Pipe = Opts.Pipe;
+  S.Diversity = diversityOptions(Opts);
+  S.Verify.MaxAttempts = Opts.Retries;
+  S.Verify.Engine = Opts.Engine;
+  serve::ServeResult R = serve::serveVariants(P, S);
+
+  auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+  std::printf("serve: %llu requests x %u jobs (queue %u): "
+              "%llu hits, %llu fills, %llu shed, %llu failed\n",
+              U(Opts.Requests), R.Jobs, R.QueueCapacity, U(R.Hits),
+              U(R.Fills), U(R.Shed), U(R.Failed));
+  std::printf("store: %s: %llu corrupt entries healed, %llu baseline "
+              "runs prewarmed (cache: %llu fills, %llu hits)\n",
+              Opts.StoreDir.c_str(), U(R.StoreCorrupt),
+              U(R.BaselinePrewarmed), U(R.BaselineCacheFills),
+              U(R.BaselineCacheHits));
+  std::printf("served: %llu variants, %llu pairwise distinct; "
+              "peak queue depth %u\n",
+              U(R.Served), U(R.DistinctVariants), R.QueuePeakDepth);
+  std::printf("latency: p50 %.6fs, p99 %.6fs (wall %.3fs)\n",
+              R.P50LatencySeconds, R.P99LatencySeconds, R.WallSeconds);
+  if (obs::enabled())
+    printPhaseTable(stdout);
+
+  if (!R.ok()) {
+    std::fprintf(stderr, "pgsdc: %s\n", R.Error.c_str());
+    return ExitFileIO;
+  }
+  if (R.Failed) {
+    std::fprintf(stderr,
+                 "pgsdc: %llu request(s) could not be served a verified "
+                 "variant\n",
+                 U(R.Failed));
+    return ExitVerifyFailed;
+  }
+  if (R.Shed) {
+    std::fprintf(stderr,
+                 "pgsdc: %llu request(s) shed under overload (queue %u, "
+                 "admit wait %.1fs)\n",
+                 U(R.Shed), R.QueueCapacity, Opts.AdmitWaitSeconds);
+    return ExitServeShed;
   }
   return ExitOK;
 }
@@ -1117,6 +1343,8 @@ int dispatch(const Options &Opts) {
     return cmdEquiv(Opts);
   if (Opts.Command == "nvx")
     return cmdNvx(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
   if (Opts.Command == "gadgets")
     return cmdGadgets(Opts);
   if (Opts.Command == "disasm")
